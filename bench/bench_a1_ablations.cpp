@@ -1,0 +1,161 @@
+// A1–A3 — ablations of the design choices DESIGN.md calls out.
+//
+//  A1: Algorithm 7's reverse pass (SearchAllRev) replaced by a second
+//      forward pass — same durations, different placement of the
+//      small/quick rounds within the active phase.
+//  A2: Search(k) without the terminal wait — breaks the Lemma 8
+//      algebra; measures the schedule drift.
+//  A3: annulus circle spacing c·ρ for c ∈ {1, 2, 3, 4} — c = 2 is the
+//      paper's choice; c > 2 voids the coverage guarantee, c < 2 pays
+//      extra time for redundant coverage.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mathx/constants.hpp"
+#include "io/table.hpp"
+#include "rendezvous/schedule.hpp"
+#include "rendezvous/variants.hpp"
+#include "search/times.hpp"
+#include "search/variants.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace rv;
+  bench::banner("A1-A3", "ablations of the paper's design choices",
+                "SearchAllRev (Fig. 3b), Search(k) terminal wait (Lemma 8), "
+                "2rho circle spacing (Algorithm 2)");
+
+  // --- A1: reverse pass ------------------------------------------------------
+  {
+    io::Table table({"tau", "fwd+rev t", "fwd+fwd t", "fwd+fwd / fwd+rev"});
+    std::vector<io::CsvRow> csv;
+    const double d = 1.0, r = 0.1;
+    for (const double tau : {0.5, 0.6, 0.75, 0.9}) {
+      geom::RobotAttributes a;
+      a.time_unit = tau;
+      double times[2] = {0.0, 0.0};
+      bool ok = true;
+      const rendezvous::ActivePhaseOrder orders[2] = {
+          rendezvous::ActivePhaseOrder::kForwardThenReverse,
+          rendezvous::ActivePhaseOrder::kForwardTwice};
+      for (int variant = 0; variant < 2; ++variant) {
+        sim::SimOptions opts;
+        opts.visibility = r;
+        opts.max_time = 5e6;
+        const auto order = orders[variant];
+        const auto res = sim::simulate_rendezvous(
+            [order] {
+              return rendezvous::make_variant_rendezvous_program(order);
+            },
+            a, {d, 0.0}, opts);
+        if (!res.met) ok = false;
+        times[variant] = res.met ? res.time : -1.0;
+      }
+      table.add_row({io::format_fixed(tau, 2),
+                     ok ? io::format_fixed(times[0], 1) : "-",
+                     times[1] >= 0 ? io::format_fixed(times[1], 1) : "MISS",
+                     (ok && times[1] >= 0)
+                         ? io::format_fixed(times[1] / times[0], 2) + "x"
+                         : "-"});
+      csv.push_back({io::format_double(tau), io::format_double(times[0]),
+                     io::format_double(times[1])});
+    }
+    table.print(std::cout,
+                "A1 - active phase order (d = 1, r = 0.1, clocks only):");
+    bench::dump_csv("a1_reverse_pass.csv", {"tau", "fwd_rev", "fwd_fwd"}, csv);
+  }
+
+  // --- A2: terminal wait ------------------------------------------------------
+  {
+    // The wait makes Search(k) last exactly 3(π+1)(k+1)2^{k+1}; without
+    // it the round is shorter and the Lemma 8 schedule drifts.
+    io::Table table({"k", "with wait", "without wait", "wait share",
+                     "Lemma 2 formula"});
+    std::vector<io::CsvRow> csv;
+    for (int k = 1; k <= 8; ++k) {
+      double with_wait = 0.0, without_wait = 0.0;
+      for (const bool include_wait : {true, false}) {
+        search::VariantOptions opts;
+        opts.include_wait = include_wait;
+        search::VariantRoundEmitter emitter(k, opts);
+        double acc = 0.0;
+        while (!emitter.done()) acc += traj::duration(emitter.next());
+        // Account for the final emitted segment after done() flips —
+        // VariantRoundEmitter returns the wait (or stand-in) as the
+        // last next(); the loop above already consumed it.
+        (include_wait ? with_wait : without_wait) = acc;
+      }
+      table.add_row(
+          {std::to_string(k), io::format_fixed(with_wait, 2),
+           io::format_fixed(without_wait, 2),
+           io::format_fixed(100.0 * (with_wait - without_wait) / with_wait,
+                            2) +
+               "%",
+           io::format_fixed(search::time_search_round(k), 2)});
+      csv.push_back({std::to_string(k), io::format_double(with_wait),
+                     io::format_double(without_wait)});
+    }
+    table.print(std::cout,
+                "\nA2 - Search(k) terminal wait (the wait exists 'only to "
+                "simplify algebra'):");
+    bench::dump_csv("a2_terminal_wait.csv", {"k", "with", "without"}, csv);
+  }
+
+  // --- A3: circle spacing ------------------------------------------------------
+  {
+    io::Table table({"spacing c", "found", "missed", "worst t (found)",
+                     "t vs c=2"});
+    std::vector<io::CsvRow> csv;
+    const double d = 1.5, r = 0.05;
+    double reference_time = 0.0;
+    for (const double c : {1.0, 2.0, 3.0, 4.0}) {
+      int found = 0, missed = 0;
+      double worst = 0.0;
+      for (int ang_i = 0; ang_i < 8; ++ang_i) {
+        const double ang = 2.0 * mathx::kPi * ang_i / 8.0 + 0.11;
+        search::VariantOptions vopts;
+        vopts.spacing_factor = c;
+        sim::SimOptions opts;
+        opts.visibility = r;
+        // Horizon: generous multiple of the c = 2 guarantee.
+        opts.max_time =
+            4.0 * search::time_first_rounds(search::guaranteed_round(d, r));
+        const auto res = sim::simulate_search(
+            search::make_variant_search_program(vopts), geom::polar(d, ang),
+            opts);
+        if (res.met) {
+          ++found;
+          worst = std::max(worst, res.time);
+        } else {
+          ++missed;
+        }
+      }
+      if (c == 2.0) reference_time = worst;
+      table.add_row({io::format_fixed(c, 1), std::to_string(found),
+                     std::to_string(missed),
+                     found ? io::format_fixed(worst, 1) : "-",
+                     (found && reference_time > 0.0)
+                         ? io::format_fixed(worst / reference_time, 2) + "x"
+                         : "-"});
+      csv.push_back({io::format_double(c), std::to_string(found),
+                     std::to_string(missed), io::format_double(worst)});
+    }
+    table.print(std::cout,
+                "\nA3 - circle spacing c*rho (8 target angles, d = 1.5, "
+                "r = 0.05):");
+    bench::dump_csv("a3_spacing.csv", {"c", "found", "missed", "worst_time"},
+                    csv);
+  }
+
+  std::cout << "\nshape check: A1 - both orders still meet (the overlap "
+               "machinery tolerates either), with order-dependent constants; "
+               "A2 - the wait is a growing share of Search(k) but exists for "
+               "algebraic convenience; A3 - c <= 2 keeps the per-round "
+               "coverage guarantee (c = 1 pays extra time), c > 2 voids it, "
+               "deferring discovery to later, costlier rounds (or past the "
+               "horizon).\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared plumbing for the experiment binaries: output directory
+/// handling, CSV dumping, and a uniform banner so `bench_output.txt`
+/// reads as a single report.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace rv::bench {
+
+/// Directory where benches drop their CSV artifacts.
+inline std::filesystem::path results_dir() {
+  const std::filesystem::path dir = "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Prints the experiment banner.
+inline void banner(const std::string& id, const std::string& title,
+                   const std::string& paper_artifact) {
+  std::cout << "\n================================================================\n"
+            << id << " — " << title << '\n'
+            << "reproduces: " << paper_artifact << '\n'
+            << "================================================================\n";
+}
+
+/// Writes a table's rows as CSV next to the printed output.
+inline void dump_csv(const std::string& filename,
+                     const rv::io::CsvRow& header,
+                     const std::vector<rv::io::CsvRow>& rows) {
+  const auto path = results_dir() / filename;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << '\n';
+    return;
+  }
+  rv::io::CsvWriter writer(out);
+  writer.header(header);
+  for (const auto& row : rows) writer.row(row);
+  std::cout << "[csv] " << path.string() << " (" << rows.size() << " rows)\n";
+}
+
+/// Formats a ratio as e.g. "0.43x".
+inline std::string ratio_str(double measured, double bound) {
+  return rv::io::format_fixed(measured / bound, 3) + "x";
+}
+
+}  // namespace rv::bench

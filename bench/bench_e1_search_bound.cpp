@@ -1,0 +1,106 @@
+// E1 — Theorem 1: measured search time vs the closed-form bound
+// 6(π+1)·log₂(d²/r)·d²/r, swept over (d, r) and target angles.
+//
+// The paper proves the bound analytically; this bench regenerates the
+// "table" the theorem implies: one row per (d, r) with the worst
+// measured time over a ring of target angles, the bound, and the
+// measured/bound ratio (< 1 everywhere the bound applies).
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mathx/constants.hpp"
+#include "io/table.hpp"
+#include "mathx/stats.hpp"
+#include "search/algorithm4.hpp"
+#include "search/times.hpp"
+#include "sim/simulator.hpp"
+#include "viz/ascii.hpp"
+#include "viz/chart.hpp"
+
+int main() {
+  using namespace rv;
+  bench::banner("E1", "universal search vs Theorem 1 bound",
+                "Theorem 1 (search time bound), Lemma 3 (ratio lower bound)");
+
+  const std::vector<double> distances{1.0, 1.5, 2.0, 3.0, 4.0, 6.0};
+  const std::vector<double> radii{0.5, 0.25, 0.125, 0.0625, 0.03125};
+  constexpr int kAngles = 16;
+
+  io::Table table({"d", "r", "d^2/r", "worst t", "mean t", "bound",
+                   "worst/bound", "guar. round"});
+  std::vector<io::CsvRow> csv;
+  std::vector<double> xs, ys_measured, ys_bound;
+
+  for (const double d : distances) {
+    for (const double r : radii) {
+      if (!search::theorem1_bound_applicable(d, r)) continue;
+      const double bound = search::theorem1_bound(d, r);
+      mathx::RunningStats stats;
+      for (int a = 0; a < kAngles; ++a) {
+        const double ang = 2.0 * mathx::kPi * a / kAngles + 0.03;
+        sim::SimOptions opts;
+        opts.visibility = r;
+        opts.max_time = bound + 1.0;
+        const auto res = sim::simulate_search(search::make_search_program(),
+                                              geom::polar(d, ang), opts);
+        if (!res.met) {
+          std::cerr << "UNEXPECTED MISS d=" << d << " r=" << r
+                    << " ang=" << ang << '\n';
+          return 1;
+        }
+        stats.add(res.time);
+      }
+      const double ratio = d * d / r;
+      table.add_row({io::format_fixed(d, 2), io::format_fixed(r, 4),
+                     io::format_fixed(ratio, 1),
+                     io::format_fixed(stats.max(), 1),
+                     io::format_fixed(stats.mean(), 1),
+                     io::format_fixed(bound, 1),
+                     bench::ratio_str(stats.max(), bound),
+                     std::to_string(search::guaranteed_round(d, r))});
+      csv.push_back({io::format_double(d), io::format_double(r),
+                     io::format_double(ratio), io::format_double(stats.max()),
+                     io::format_double(stats.mean()), io::format_double(bound)});
+      xs.push_back(ratio);
+      ys_measured.push_back(stats.max());
+      ys_bound.push_back(bound);
+    }
+  }
+
+  table.print(std::cout,
+              "worst-case measured search time over " +
+                  std::to_string(kAngles) + " target angles vs Theorem 1:");
+
+  viz::AsciiSeries measured{xs, ys_measured, '*', "worst measured"};
+  viz::AsciiSeries bound_series{xs, ys_bound, '+', "Theorem 1 bound"};
+  std::cout << "\nsearch time vs d^2/r (log-log):\n"
+            << viz::ascii_scatter({measured, bound_series}, 18, 70, true, true);
+
+  bench::dump_csv("e1_search_bound.csv",
+                  {"d", "r", "ratio", "worst_time", "mean_time", "bound"}, csv);
+
+  // Publication-style SVG of the same figure.
+  {
+    viz::ChartOptions copts;
+    copts.title = "E1: search time vs d^2/r (Theorem 1)";
+    copts.x_label = "d^2/r";
+    copts.y_label = "time";
+    copts.log_x = true;
+    copts.log_y = true;
+    viz::ChartSeries measured_s{xs, ys_measured, "#1f77b4",
+                                "worst measured", false, true};
+    viz::ChartSeries bound_s{xs, ys_bound, "#d62728", "Theorem 1 bound",
+                             false, true};
+    const auto chart = viz::render_chart({measured_s, bound_s}, copts);
+    const auto path = bench::results_dir() / "e1_search_bound.svg";
+    chart.save(path.string());
+    std::cout << "[svg] " << path.string() << '\n';
+  }
+
+  std::cout << "\nshape check: every measured/bound ratio < 1 — the bound "
+               "holds; time scales ~ (d^2/r)·log(d^2/r).\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+// E4 — Theorem 2, χ = −1: rendezvous under symmetric clocks with
+// mirrored robots.  The driver is the worst-case direction gain 1 − v:
+// as v → 1 the difference map degenerates and the time bound blows up
+// as (d²/((1−v)r))·log(...); at v = 1 rendezvous becomes infeasible.
+//
+// Regenerated content: time vs v sweep (with the blow-up visible), a
+// φ grid showing the bound is uniform over orientations, and an offset
+// direction sweep probing Lemma 7's worst-case maximisation.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "mathx/constants.hpp"
+#include "geom/difference_map.hpp"
+#include "io/table.hpp"
+#include "rendezvous/core.hpp"
+#include "search/times.hpp"
+#include "viz/ascii.hpp"
+#include "viz/chart.hpp"
+
+int main() {
+  using namespace rv;
+  bench::banner("E4", "symmetric clocks, opposite chirality (chi=-1)",
+                "Theorem 2 (chi = -1 branch), Lemma 7");
+
+  const double d = 2.0, r = 0.25;
+
+  // --- speed sweep: the (1 − v) blow-up -----------------------------------
+  io::Table t1({"v", "1-v", "worst t over dirs", "Thm2 bound", "t/bound"});
+  std::vector<io::CsvRow> csv;
+  std::vector<double> gains, times;
+  for (const double v : {0.2, 0.4, 0.6, 0.75, 0.9}) {
+    geom::RobotAttributes a;
+    a.speed = v;
+    a.chirality = -1;
+    a.orientation = 1.0;
+    const double bound = analysis::theorem2_bound(a, d, r);
+    const double guarantee = analysis::theorem2_guaranteed_time(a, d, r);
+    double worst = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      rendezvous::Scenario s;
+      s.attrs = a;
+      s.offset = geom::polar(d, 2.0 * mathx::kPi * i / 8.0 + 0.05);
+      s.visibility = r;
+      s.algorithm = rendezvous::AlgorithmChoice::kAlgorithm4;
+      s.max_time = std::max(bound, guarantee) + 1.0;
+      const auto out = rendezvous::run_scenario(s);
+      if (!out.sim.met) {
+        std::cerr << "UNEXPECTED MISS v=" << v << " dir " << i << '\n';
+        return 1;
+      }
+      worst = std::max(worst, out.sim.time);
+    }
+    t1.add_row({io::format_fixed(v, 2), io::format_fixed(1.0 - v, 2),
+                io::format_fixed(worst, 2), io::format_fixed(bound, 1),
+                bench::ratio_str(worst, bound)});
+    csv.push_back({io::format_double(v), io::format_double(worst),
+                   io::format_double(bound)});
+    gains.push_back(1.0 - v);
+    times.push_back(worst);
+  }
+  t1.print(std::cout,
+           "speed sweep (phi = 1, worst over 8 offset directions), d = 2, "
+           "r = 0.25:");
+
+  std::cout << "\nworst time vs (1 - v) (log-log; expect upward blow-up as "
+               "v -> 1):\n"
+            << viz::ascii_scatter({{gains, times, '*', "worst measured"}}, 14,
+                                  70, true, true);
+
+  // --- orientation grid at fixed v -----------------------------------------
+  io::Table t2({"phi", "mu", "t meet", "bound (phi-free)"});
+  geom::RobotAttributes a;
+  a.speed = 0.5;
+  a.chirality = -1;
+  const double bound_v = analysis::theorem2_bound(a, d, r);
+  for (const double phi : {0.0, 0.8, 1.6, 2.4, mathx::kPi, 4.0, 5.2}) {
+    a.orientation = phi;
+    const double guarantee = analysis::theorem2_guaranteed_time(a, d, r);
+    rendezvous::Scenario s;
+    s.attrs = a;
+    s.offset = {0.0, d};  // worst-ish direction for chi = -1
+    s.visibility = r;
+    s.algorithm = rendezvous::AlgorithmChoice::kAlgorithm4;
+    s.max_time = std::max(bound_v, guarantee) + 1.0;
+    const auto out = rendezvous::run_scenario(s);
+    t2.add_row({io::format_fixed(phi, 2),
+                io::format_fixed(geom::mu(0.5, phi), 3),
+                out.sim.met ? io::format_fixed(out.sim.time, 2) : "MISS",
+                io::format_fixed(bound_v, 1)});
+  }
+  t2.print(std::cout,
+           "\norientation grid at v = 0.5 (Theorem 2's chi=-1 bound is "
+           "independent of phi):");
+
+  bench::dump_csv("e4_opposite_chirality.csv", {"v", "worst_time", "bound"},
+                  csv);
+
+  {
+    viz::ChartOptions copts;
+    copts.title = "E4: rendezvous time vs 1-v (chi = -1, Theorem 2)";
+    copts.x_label = "1 - v";
+    copts.y_label = "worst time";
+    copts.log_x = true;
+    copts.log_y = true;
+    const auto chart = viz::render_chart(
+        {viz::ChartSeries{gains, times, "#1f77b4", "worst measured", true,
+                          true}},
+        copts);
+    const auto path = bench::results_dir() / "e4_opposite_chirality.svg";
+    chart.save(path.string());
+    std::cout << "[svg] " << path.string() << '\n';
+  }
+  std::cout << "\nshape check: time <= bound everywhere; worst time grows as "
+               "v -> 1 (the 1/(1-v) blow-up of Theorem 2).\n";
+  return 0;
+}

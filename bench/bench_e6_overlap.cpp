@@ -1,0 +1,131 @@
+// E6 — Figure 3 + Lemmas 9/10: how the active phase of one robot comes
+// to overlap the inactive phase of the other, and how the overlap
+// grows without bound — the engine of Theorem 3.
+//
+// Regenerated content: for a grid of clock ratios τ, the per-round
+// overlap between R's active phases and R′'s inactive phases (computed
+// from the exact schedule algebra), the lemma windows that predict
+// which (k, a) pairs overlap, and a Gantt SVG in the style of
+// Figure 3's two panels.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "io/table.hpp"
+#include "mathx/binary.hpp"
+#include "rendezvous/schedule.hpp"
+#include "viz/ascii.hpp"
+#include "viz/gantt.hpp"
+
+int main() {
+  using namespace rv;
+  bench::banner("E6", "active/inactive phase overlap growth",
+                "Figure 3, Lemma 9, Lemma 10");
+
+  const std::vector<double> taus{0.5, 0.6, 2.0 / 3.0, 0.75, 0.9};
+
+  io::Table table({"tau", "t", "a", "k", "overlap(k)", "overlap(k+2)",
+                   "overlap(k+4)", "S(k)"});
+  std::vector<io::CsvRow> csv;
+
+  for (const double tau : taus) {
+    const auto dec = mathx::dyadic_decompose(tau);
+    // First round with a positive overlap against any peer inactive
+    // phase.
+    int k0 = 0;
+    for (int k = 1; k <= 40 && k0 == 0; ++k) {
+      if (rendezvous::best_overlap_with_inactive(k, tau)) k0 = k;
+    }
+    if (k0 == 0) {
+      std::cerr << "no overlap found for tau=" << tau << '\n';
+      return 1;
+    }
+    auto overlap_at = [&](int k) {
+      const auto best = rendezvous::best_overlap_with_inactive(k, tau);
+      return best ? best->length() : 0.0;
+    };
+    table.add_row({io::format_fixed(tau, 4), io::format_fixed(dec.t, 4),
+                   std::to_string(dec.a), std::to_string(k0),
+                   io::format_fixed(overlap_at(k0), 1),
+                   io::format_fixed(overlap_at(k0 + 2), 1),
+                   io::format_fixed(overlap_at(k0 + 4), 1),
+                   io::format_fixed(rendezvous::search_all_time(k0), 1)});
+    for (int k = k0; k <= k0 + 6; ++k) {
+      csv.push_back({io::format_double(tau), std::to_string(k),
+                     io::format_double(overlap_at(k))});
+    }
+  }
+  table.print(std::cout,
+              "overlap of R's active phase k with R''s inactive phases "
+              "(global time units):");
+
+  // Lemma 9/10 window verification: sampled τ in each window must give
+  // the predicted positive overlap.
+  io::Table t2({"lemma", "k", "a", "window lo", "window hi",
+                "overlap at midpoint", "predicted"});
+  for (const int k : {8, 12, 16}) {
+    for (const int a : {0, 1}) {
+      if (k < 2 * (a + 1)) continue;
+      const auto w9 = rendezvous::lemma9_tau_window(k, a);
+      const double tau9 = w9.midpoint();
+      t2.add_row({"9", std::to_string(k), std::to_string(a),
+                  io::format_fixed(w9.lo, 5), io::format_fixed(w9.hi, 5),
+                  io::format_fixed(
+                      rendezvous::best_overlap_with_inactive(k, tau9)
+                          ? rendezvous::best_overlap_with_inactive(k, tau9)
+                                ->length()
+                          : 0.0,
+                      1),
+                  io::format_fixed(rendezvous::lemma9_overlap(tau9, k, a), 1)});
+      const auto w10 = rendezvous::lemma10_tau_window(k, a);
+      const double tau10 = w10.midpoint();
+      t2.add_row(
+          {"10", std::to_string(k), std::to_string(a),
+           io::format_fixed(w10.lo, 5), io::format_fixed(w10.hi, 5),
+           io::format_fixed(
+               rendezvous::best_overlap_with_inactive(k - 1, tau10)
+                   ? rendezvous::best_overlap_with_inactive(k - 1, tau10)
+                         ->length()
+                   : 0.0,
+               1),
+           io::format_fixed(rendezvous::lemma10_overlap(tau10, k, a), 1)});
+    }
+  }
+  t2.print(std::cout, "\nLemma 9/10 window checks (tau at window midpoint):");
+
+  // Figure 3 regenerated as a Gantt chart for tau = 0.6.
+  {
+    const double tau = 0.6;
+    std::vector<viz::GanttRow> rows(2);
+    rows[0].label = "R active";
+    rows[1].label = "R' inactive";
+    std::vector<viz::HighlightWindow> highlights;
+    for (int n = 1; n <= 8; ++n) {
+      const auto act = rendezvous::active_phase_global(n, 1.0);
+      const auto inact = rendezvous::inactive_phase_global(n, tau);
+      rows[0].phases.push_back({act.lo, act.hi, viz::PhaseKind::kActive, n});
+      rows[1].phases.push_back(
+          {inact.lo, inact.hi, viz::PhaseKind::kInactive, n});
+      const auto best = rendezvous::best_overlap_with_inactive(n, tau);
+      if (best) {
+        highlights.push_back({best->lo, best->hi, "#d62728", ""});
+      }
+    }
+    viz::GanttOptions gopt;
+    gopt.time_min = 1.0;
+    const auto canvas = viz::render_gantt(rows, highlights, gopt);
+    const auto path = bench::results_dir() / "e6_figure3_overlap.svg";
+    canvas.save(path.string());
+    std::cout << "\n[svg] " << path.string()
+              << " (regenerated Figure 3: shaded overlap windows)\n";
+  }
+
+  bench::dump_csv("e6_overlap.csv", {"tau", "k", "overlap"}, csv);
+  std::cout << "\nshape check: for every tau < 1 the overlap appears by some "
+               "round k0 and then grows without bound (Lemmas 9/10); it "
+               "eventually exceeds S(n) for any fixed n, forcing rendezvous "
+               "(Theorem 3).\n";
+  return 0;
+}

@@ -1,0 +1,156 @@
+// E7 — Theorem 3 / Lemmas 11-13: full two-robot simulations of
+// Algorithm 7 with asymmetric clocks.  For a τ = t·2⁻ᵃ grid, measures
+// the actual meeting round and time and compares with the Lemma 13
+// round bound k* and the Lemma 14 time bound I(k*+1).
+//
+// This is the paper's central claim made executable: with *only* the
+// clocks different (identical speeds, compasses, chiralities), the
+// robots still meet — and within the predicted round.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/competitive.hpp"
+#include "bench_common.hpp"
+#include "mathx/constants.hpp"
+#include "io/table.hpp"
+#include "mathx/binary.hpp"
+#include "rendezvous/core.hpp"
+#include "rendezvous/schedule.hpp"
+#include "search/times.hpp"
+#include "viz/ascii.hpp"
+
+namespace {
+
+// The Algorithm 7 round in progress at local time t (round n spans
+// [I(n), I(n+1)) on the executing robot's clock).
+int round_at_local_time(double t) {
+  int n = 1;
+  while (rv::rendezvous::inactive_start(n + 1) <= t) ++n;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rv;
+  bench::banner("E7", "asymmetric-clock rendezvous (Algorithm 7 end-to-end)",
+                "Theorem 3, Lemmas 11-13 (round bound k*), Lemma 14");
+
+  const double d = 1.0, r = 0.5;
+  const int n_star = search::guaranteed_round(d, r);
+
+  struct Case {
+    double t;
+    int a;
+  };
+  const std::vector<Case> grid{{0.5, 0}, {0.5, 1}, {0.5, 2}, {0.6, 0},
+                               {0.6, 1}, {2.0 / 3.0, 0}, {0.75, 0},
+                               {0.75, 1}, {0.9, 0}};
+
+  io::Table table({"tau", "t", "a", "meet time", "meet round", "k* (Lem 13)",
+                   "time bound I(k*+1)", "time/bound"});
+  std::vector<io::CsvRow> csv;
+  std::vector<double> taus, rounds_measured, rounds_bound;
+
+  for (const Case c : grid) {
+    const double tau = c.t * mathx::pow2(-c.a);
+    geom::RobotAttributes a;
+    a.time_unit = tau;
+    const int k_star = rendezvous::rendezvous_round_bound(tau, n_star);
+    const double bound = analysis::theorem3_bound(tau, d, r);
+    const auto out = rendezvous::run_universal(a, d, r, bound + 1.0);
+    if (!out.sim.met) {
+      std::cerr << "UNEXPECTED MISS tau=" << tau << '\n';
+      return 1;
+    }
+    // The searching (slower-clock) robot here is the reference robot;
+    // its local clock is global time.
+    const int meet_round = round_at_local_time(out.sim.time);
+    table.add_row({io::format_fixed(tau, 4), io::format_fixed(c.t, 4),
+                   std::to_string(c.a), io::format_fixed(out.sim.time, 1),
+                   std::to_string(meet_round), std::to_string(k_star),
+                   io::format_fixed(bound, 1),
+                   bench::ratio_str(out.sim.time, bound)});
+    csv.push_back({io::format_double(tau), io::format_double(out.sim.time),
+                   std::to_string(meet_round), std::to_string(k_star),
+                   io::format_double(bound)});
+    taus.push_back(tau);
+    rounds_measured.push_back(meet_round);
+    rounds_bound.push_back(k_star);
+  }
+  table.print(std::cout,
+              "identical robots except the clock (v = 1, phi = 0, chi = 1), "
+              "d = 1, r = 0.5, stationary-find round n = " +
+                  std::to_string(n_star) + ":");
+
+  std::cout << "\nmeeting round vs tau ('*' measured, '+' Lemma 13 bound):\n"
+            << viz::ascii_scatter(
+                   {{taus, rounds_measured, '*', "measured round"},
+                    {taus, rounds_bound, '+', "k* bound"}},
+                   14, 70, false, false);
+
+  // Clock + other attributes combined: Theorem 3 is insensitive to
+  // speed/orientation/chirality (the proof only needs one robot to
+  // find the other *stationary*).
+  io::Table t2({"tau", "v", "phi", "chi", "meet time", "met"});
+  for (const auto& [v, phi, chi] :
+       std::vector<std::tuple<double, double, int>>{
+           {2.0, 0.0, 1}, {0.5, 2.0, -1}, {1.0, mathx::kPi, -1}}) {
+    geom::RobotAttributes a;
+    a.time_unit = 0.5;
+    a.speed = v;
+    a.orientation = phi;
+    a.chirality = chi;
+    const auto out = rendezvous::run_universal(a, d, r, 1e6);
+    t2.add_row({"0.5", io::format_fixed(v, 2), io::format_fixed(phi, 2),
+                std::to_string(chi),
+                out.sim.met ? io::format_fixed(out.sim.time, 1) : "-",
+                out.sim.met ? "yes" : "NO"});
+  }
+  t2.print(std::cout, "\ntau = 1/2 combined with other attribute differences:");
+
+  bench::dump_csv("e7_asymmetric_clocks.csv",
+                  {"tau", "time", "meet_round", "k_star", "bound"}, csv);
+
+  // Harder instance: smaller r forces the schedule machinery to work
+  // through more rounds before contact; also report the exact Lemma 12
+  // (Lambert W) round bound next to Lemma 13's weakening, and the
+  // competitive ratio against the offline optimum.
+  {
+    const double dh = 4.0, rh = 0.1;
+    const int nh = search::guaranteed_round(dh, rh);
+    io::Table t3({"tau", "meet time", "meet round", "k* (Lem 13)",
+                  "k exact (Lem 12, W)", "vs offline OPT"});
+    for (const double tau : {0.75, 0.8, 0.9}) {
+      geom::RobotAttributes a;
+      a.time_unit = tau;
+      const double bound = analysis::theorem3_bound(tau, dh, rh);
+      const auto out = rendezvous::run_universal(a, dh, rh, bound + 1.0);
+      if (!out.sim.met) {
+        std::cerr << "UNEXPECTED MISS (hard) tau=" << tau << '\n';
+        return 1;
+      }
+      t3.add_row(
+          {io::format_fixed(tau, 2), io::format_fixed(out.sim.time, 1),
+           std::to_string(round_at_local_time(out.sim.time)),
+           std::to_string(rendezvous::rendezvous_round_bound(tau, nh)),
+           std::to_string(analysis::lemma12_exact_round_bound(tau, nh)),
+           io::format_fixed(
+               analysis::competitive_ratio(out.sim.time, dh, rh, 1.0), 1) +
+               "x"});
+    }
+    t3.print(std::cout,
+             "\nharder instance d = 4, r = 0.1 (stationary-find round n = " +
+                 std::to_string(nh) + "), with the exact Lemma 12 bound:");
+  }
+
+  std::cout << "\nshape check: every case meets; measured round <= k*; the "
+               "bound grows as tau -> 1 (t/(1-t) blow-up of Lemma 13); the "
+               "exact Lambert-W form of Lemma 12 tracks Lemma 13 within a "
+               "few rounds.\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E8 — Theorem 4: the feasibility characterisation, both directions.
+//
+//  * Feasible cells: run Algorithm 7 and report the meeting time.
+//  * Infeasible cells: report the structural certificate (singular /
+//    zero difference map, invariant separation component) plus a
+//    long-horizon simulation whose minimum separation respects the
+//    certified lower bound.  (Infeasibility cannot be *observed* in
+//    finite time; the certificate is the paper's "only if" made
+//    checkable.)
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mathx/constants.hpp"
+#include "geom/difference_map.hpp"
+#include "io/table.hpp"
+#include "rendezvous/core.hpp"
+#include "rendezvous/feasibility.hpp"
+
+int main() {
+  using namespace rv;
+  using rendezvous::FeasibilityClass;
+  bench::banner("E8", "feasibility truth table (both directions)",
+                "Theorem 4 (rendezvous feasible iff tau!=1 or v!=1 or "
+                "(chi=1 and 0<phi<2pi))");
+
+  struct Cell {
+    double v, tau, phi;
+    int chi;
+  };
+  const std::vector<Cell> cells{
+      // feasible: clocks
+      {1.0, 0.5, 0.0, 1},
+      {1.0, 0.8, 0.0, -1},
+      // feasible: speeds
+      {2.0, 1.0, 0.0, 1},
+      {0.5, 1.0, 0.0, -1},
+      // feasible: orientation with common chirality
+      {1.0, 1.0, mathx::kPi / 2.0, 1},
+      {1.0, 1.0, mathx::kPi, 1},
+      // infeasible: identical
+      {1.0, 1.0, 0.0, 1},
+      // infeasible: mirror (any phi)
+      {1.0, 1.0, 0.0, -1},
+      {1.0, 1.0, 1.0, -1},
+      {1.0, 1.0, mathx::kPi, -1},
+  };
+
+  const geom::Vec2 offset{1.0, 0.4};
+  const double r = 0.05;
+
+  io::Table table({"v", "tau", "phi", "chi", "Theorem 4", "det T_circ",
+                   "sep. lower bound", "sim outcome", "min sep seen"});
+  std::vector<io::CsvRow> csv;
+
+  for (const Cell& c : cells) {
+    geom::RobotAttributes a;
+    a.speed = c.v;
+    a.time_unit = c.tau;
+    a.orientation = c.phi;
+    a.chirality = c.chi;
+    const auto cls = rendezvous::classify(a);
+    const bool feasible = rendezvous::is_feasible(cls);
+    const double det =
+        c.tau == 1.0
+            ? geom::difference_determinant(c.v, c.phi, c.chi)
+            : std::nan("");  // the tau != 1 case has no static T∘
+    const double lower = rendezvous::separation_lower_bound(a, offset);
+
+    rendezvous::Scenario s;
+    s.attrs = a;
+    s.offset = offset;
+    s.visibility = r;
+    s.algorithm = rendezvous::AlgorithmChoice::kAlgorithm7;
+    s.max_time = feasible ? 1e6 : 3e4;  // long horizon for infeasible cells
+    const auto out = rendezvous::run_scenario(s);
+
+    std::string outcome;
+    if (out.sim.met) {
+      outcome = "met t=" + io::format_fixed(out.sim.time, 1);
+    } else {
+      outcome = feasible ? "NOT MET (unexpected)" : "no meet (horizon)";
+    }
+    table.add_row({io::format_fixed(c.v, 2), io::format_fixed(c.tau, 2),
+                   io::format_fixed(c.phi, 3), std::to_string(c.chi),
+                   feasible ? "feasible" : "INFEASIBLE",
+                   std::isnan(det) ? "-" : io::format_fixed(det, 4),
+                   io::format_fixed(lower, 4), outcome,
+                   io::format_fixed(out.sim.min_distance, 4)});
+    csv.push_back({io::format_double(c.v), io::format_double(c.tau),
+                   io::format_double(c.phi), std::to_string(c.chi),
+                   feasible ? "1" : "0", out.sim.met ? "1" : "0",
+                   io::format_double(out.sim.min_distance),
+                   io::format_double(lower)});
+
+    // Consistency checks: feasible must meet, infeasible must respect
+    // the invariant lower bound.
+    if (feasible && !out.sim.met) {
+      std::cerr << "ERROR: feasible cell failed to meet\n";
+      return 1;
+    }
+    if (!feasible && out.sim.min_distance < lower - 1e-6) {
+      std::cerr << "ERROR: infeasible cell violated its separation "
+                   "certificate\n";
+      return 1;
+    }
+  }
+
+  table.print(std::cout,
+              "attribute grid, offset (1.0, 0.4), r = 0.05, Algorithm 7:");
+
+  bench::dump_csv("e8_feasibility.csv",
+                  {"v", "tau", "phi", "chi", "feasible", "met", "min_sep",
+                   "lower_bound"},
+                  csv);
+  std::cout
+      << "\nshape check: the three feasible families all meet; the identical "
+         "cell keeps separation exactly |d|; the mirror cells keep the "
+         "perpendicular separation component >= the certified invariant "
+         "(det T_circ = 0 on every infeasible tau=1 cell).\n";
+  return 0;
+}

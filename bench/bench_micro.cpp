@@ -1,0 +1,137 @@
+// E10 — micro-benchmarks of the substrate (google-benchmark): segment
+// evaluation, frame mapping, emitter throughput, contact sweeps,
+// Lambert W, schedule algebra.  These quantify the simulator cost
+// model used to size the E1-E9 experiments.
+
+#include <benchmark/benchmark.h>
+
+#include "mathx/constants.hpp"
+
+#include <memory>
+
+#include "geom/difference_map.hpp"
+#include "mathx/lambert_w.hpp"
+#include "rendezvous/algorithm7.hpp"
+#include "rendezvous/schedule.hpp"
+#include "search/algorithm4.hpp"
+#include "search/emitter.hpp"
+#include "sim/simulator.hpp"
+#include "traj/frame.hpp"
+
+namespace {
+
+using rv::geom::RobotAttributes;
+using rv::geom::Vec2;
+
+void BM_SegmentEvalLine(benchmark::State& state) {
+  const rv::traj::Segment seg = rv::traj::LineSeg{{0.0, 0.0}, {3.0, 4.0}};
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.1;
+    if (t > 5.0) t = 0.0;
+    benchmark::DoNotOptimize(rv::traj::position_at(seg, t));
+  }
+}
+BENCHMARK(BM_SegmentEvalLine);
+
+void BM_SegmentEvalArc(benchmark::State& state) {
+  const rv::traj::Segment seg =
+      rv::traj::ArcSeg{{0.0, 0.0}, 2.0, 0.0, rv::mathx::kTwoPi};
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.1;
+    if (t > 12.0) t = 0.0;
+    benchmark::DoNotOptimize(rv::traj::position_at(seg, t));
+  }
+}
+BENCHMARK(BM_SegmentEvalArc);
+
+void BM_FrameTransformSegment(benchmark::State& state) {
+  RobotAttributes attrs;
+  attrs.speed = 1.5;
+  attrs.time_unit = 0.7;
+  attrs.orientation = 1.2;
+  attrs.chirality = -1;
+  const rv::traj::Segment seg =
+      rv::traj::ArcSeg{{1.0, 2.0}, 0.5, 0.3, rv::mathx::kPi};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rv::traj::to_global_geometry(seg, attrs, {3.0, 4.0}));
+  }
+}
+BENCHMARK(BM_FrameTransformSegment);
+
+void BM_SearchRoundEmitter(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rv::search::SearchRoundEmitter emitter(k);
+    std::uint64_t n = 0;
+    while (!emitter.done()) {
+      benchmark::DoNotOptimize(emitter.next());
+      ++n;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              rv::search::SearchRoundEmitter(k)
+                                  .total_segments()));
+}
+BENCHMARK(BM_SearchRoundEmitter)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_Algorithm7Emission(benchmark::State& state) {
+  for (auto _ : state) {
+    rv::rendezvous::RendezvousProgram prog;
+    for (int i = 0; i < 10000; ++i) {
+      benchmark::DoNotOptimize(prog.next());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_Algorithm7Emission);
+
+void BM_ContactSweepSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    rv::sim::SimOptions opts;
+    opts.visibility = 0.25;
+    opts.max_time = 1e5;
+    const auto res = rv::sim::simulate_search(
+        rv::search::make_search_program(), {1.3, 0.9}, opts);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_ContactSweepSearch);
+
+void BM_LambertW0(benchmark::State& state) {
+  double x = 0.5;
+  for (auto _ : state) {
+    x = x < 1e6 ? x * 1.7 : 0.5;
+    benchmark::DoNotOptimize(rv::mathx::lambert_w0(x));
+  }
+}
+BENCHMARK(BM_LambertW0);
+
+void BM_DifferenceFactorisation(benchmark::State& state) {
+  double phi = 0.1;
+  for (auto _ : state) {
+    phi += 0.37;
+    if (phi > 6.0) phi = 0.1;
+    benchmark::DoNotOptimize(
+        rv::geom::factor_difference_matrix(1.7, phi, -1));
+  }
+}
+BENCHMARK(BM_DifferenceFactorisation);
+
+void BM_RoundBound(benchmark::State& state) {
+  double tau = 0.5;
+  for (auto _ : state) {
+    tau += 0.013;
+    if (tau >= 0.99) tau = 0.31;
+    benchmark::DoNotOptimize(rv::rendezvous::rendezvous_round_bound(tau, 6));
+  }
+}
+BENCHMARK(BM_RoundBound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

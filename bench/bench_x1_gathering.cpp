@@ -1,0 +1,111 @@
+// X1 — exploratory extension: N-robot gathering (the paper's future
+// work, Section 5).  NOT a reproduction — the paper proves nothing for
+// N > 2; this experiment reports what the paper's own universal
+// algorithm does when N robots with pairwise-distinct attributes all
+// run it.
+//
+// Observations this experiment surfaces:
+//  * first contact between *some* pair happens quickly whenever at
+//    least two robots differ (Theorem 4 applies pairwise);
+//  * simultaneous all-pairs gathering is much harder: pairs meet at
+//    different times/places and drift apart again — exactly why the
+//    paper lists gathering as an open problem.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mathx/constants.hpp"
+#include "gather/multi_simulator.hpp"
+#include "io/table.hpp"
+#include "rendezvous/algorithm7.hpp"
+
+int main() {
+  using namespace rv;
+  bench::banner("X1", "N-robot gathering (exploratory extension)",
+                "Section 5 future work: 'deterministic gathering for "
+                "multiple robots in this setting'");
+
+  struct Fleet {
+    const char* label;
+    std::vector<geom::RobotAttributes> attrs;
+  };
+
+  auto mk = [](double v, double tau) {
+    geom::RobotAttributes a;
+    a.speed = v;
+    a.time_unit = tau;
+    return a;
+  };
+
+  const std::vector<Fleet> fleets{
+      {"3 robots, distinct speeds", {mk(1.0, 1.0), mk(1.5, 1.0), mk(2.0, 1.0)}},
+      {"3 robots, distinct clocks", {mk(1.0, 1.0), mk(1.0, 0.5), mk(1.0, 0.75)}},
+      {"4 robots, mixed", {mk(1.0, 1.0), mk(2.0, 1.0), mk(1.0, 0.5),
+                           mk(1.5, 0.75)}},
+      {"3 identical robots", {mk(1.0, 1.0), mk(1.0, 1.0), mk(1.0, 1.0)}},
+  };
+
+  io::Table table({"fleet", "N", "first contact t", "pair", "all-pairs t",
+                   "min max-pairwise seen"});
+  std::vector<io::CsvRow> csv;
+
+  for (const Fleet& fleet : fleets) {
+    const std::size_t n = fleet.attrs.size();
+    // Place robots on a ring of radius 1.
+    std::vector<geom::Vec2> origins;
+    for (std::size_t i = 0; i < n; ++i) {
+      origins.push_back(
+          geom::polar(1.0, 2.0 * mathx::kPi * static_cast<double>(i) /
+                               static_cast<double>(n)));
+    }
+    auto factory = [] { return rendezvous::make_rendezvous_program(); };
+
+    gather::GatherOptions contact_opts;
+    contact_opts.visibility = 0.2;
+    contact_opts.max_time = 1e5;
+    contact_opts.mode = gather::GatherMode::kFirstContact;
+    const auto contact =
+        gather::simulate_gathering(factory, fleet.attrs, origins, contact_opts);
+
+    gather::GatherOptions gather_opts = contact_opts;
+    gather_opts.mode = gather::GatherMode::kAllPairsGathered;
+    gather_opts.max_time = 2e5;
+    const auto gathered =
+        gather::simulate_gathering(factory, fleet.attrs, origins, gather_opts);
+
+    std::string pair_label = "-";
+    if (contact.achieved) {
+      pair_label = "(";
+      pair_label += std::to_string(contact.pair_i);
+      pair_label += ",";
+      pair_label += std::to_string(contact.pair_j);
+      pair_label += ")";
+    }
+    table.add_row(
+        {fleet.label, std::to_string(n),
+         contact.achieved ? io::format_fixed(contact.time, 1) : "none",
+         pair_label,
+         gathered.achieved ? io::format_fixed(gathered.time, 1)
+                           : "not in horizon",
+         io::format_fixed(gathered.min_max_pairwise, 3)});
+    csv.push_back({fleet.label, std::to_string(n),
+                   io::format_double(contact.achieved ? contact.time : -1.0),
+                   io::format_double(gathered.achieved ? gathered.time : -1.0),
+                   io::format_double(gathered.min_max_pairwise)});
+  }
+
+  table.print(std::cout,
+              "fleets on a unit ring, r = 0.2, all running Algorithm 7:");
+
+  bench::dump_csv("x1_gathering.csv",
+                  {"fleet", "n", "first_contact", "all_pairs", "min_max_pair"},
+                  csv);
+  std::cout
+      << "\nobservations (extension, not reproduction): pairwise contact "
+         "follows from Theorem 4 whenever some pair differs; simultaneous "
+         "gathering may or may not occur — the open problem the paper "
+         "leaves.  Identical fleets never reduce their configuration (all "
+         "separations invariant), matching the Theorem 4 'only if'.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// feasibility_explorer — walks the attribute space of Theorem 4 and
+// prints, for each (v, tau, phi, chi) cell, the theory verdict and a
+// quick simulation outcome.  Useful to get intuition for *why* the
+// three feasible families break symmetry and the two infeasible ones
+// cannot.
+//
+//   $ ./feasibility_explorer [--quick] [--horizon 2e4]
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "geom/difference_map.hpp"
+#include "io/args.hpp"
+#include "io/table.hpp"
+#include "mathx/constants.hpp"
+#include "rendezvous/core.hpp"
+#include "rendezvous/feasibility.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rv;
+  using rendezvous::FeasibilityClass;
+
+  io::Args args;
+  args.declare_bool("quick", "skip the simulations, print theory only");
+  args.declare_double("horizon", 2e4, "simulation horizon per cell");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n' << args.usage("feasibility_explorer");
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage("feasibility_explorer");
+    return 0;
+  }
+  const bool quick = args.get_bool("quick");
+  const double horizon = args.get_double("horizon");
+
+  std::cout
+      << "Theorem 4: rendezvous is feasible iff\n"
+      << "    tau != 1   OR   v != 1   OR   (chi = +1 AND 0 < phi < 2pi)\n\n";
+
+  const std::vector<double> speeds{0.5, 1.0, 2.0};
+  const std::vector<double> taus{0.5, 1.0};
+  const std::vector<double> phis{0.0, mathx::kPi / 2.0};
+  const std::vector<int> chis{1, -1};
+
+  io::Table table({"v", "tau", "phi", "chi", "verdict", "why",
+                   quick ? "mu / det" : "simulated"});
+  int feasible_cells = 0, infeasible_cells = 0;
+
+  for (const double tau : taus) {
+    for (const double v : speeds) {
+      for (const double phi : phis) {
+        for (const int chi : chis) {
+          geom::RobotAttributes a;
+          a.speed = v;
+          a.time_unit = tau;
+          a.orientation = phi;
+          a.chirality = chi;
+          const auto cls = rendezvous::classify(a);
+          const bool ok = rendezvous::is_feasible(cls);
+          (ok ? feasible_cells : infeasible_cells)++;
+
+          std::string last;
+          if (quick) {
+            last = tau == 1.0
+                       ? "det=" + io::format_fixed(
+                                      geom::difference_determinant(v, phi, chi),
+                                      3)
+                       : "-";
+          } else {
+            rendezvous::Scenario s;
+            s.attrs = a;
+            s.offset = {1.0, 0.3};
+            s.visibility = 0.25;
+            s.algorithm = rendezvous::AlgorithmChoice::kAlgorithm7;
+            s.max_time = horizon;
+            const auto out = rendezvous::run_scenario(s);
+            last = out.sim.met
+                       ? "met t=" + io::format_fixed(out.sim.time, 1)
+                       : "no meet (min sep " +
+                             io::format_fixed(out.sim.min_distance, 3) + ")";
+          }
+
+          std::string why;
+          switch (cls) {
+            case FeasibilityClass::kDifferentClocks: why = "clocks"; break;
+            case FeasibilityClass::kDifferentSpeeds: why = "speeds"; break;
+            case FeasibilityClass::kOrientationOnly: why = "compass"; break;
+            case FeasibilityClass::kInfeasibleIdentical:
+              why = "identical";
+              break;
+            case FeasibilityClass::kInfeasibleMirror: why = "mirror"; break;
+          }
+          table.add_row({io::format_fixed(v, 1), io::format_fixed(tau, 1),
+                         io::format_fixed(phi, 2), std::to_string(chi),
+                         ok ? "feasible" : "INFEASIBLE", why, last});
+        }
+      }
+    }
+  }
+
+  table.print(std::cout, "attribute grid (d = |(1, 0.3)|, r = 0.25):");
+  std::cout << '\n'
+            << feasible_cells << " feasible cells, " << infeasible_cells
+            << " infeasible cells.\n"
+            << "note: infeasible cells can never be *observed* to fail in "
+               "finite time — the verdict is structural (Theorem 4; see the "
+               "separation certificates in bench_e8_feasibility).\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "analysis/competitive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rv::analysis {
+
+namespace {
+void check_dv(double d, double r, double v) {
+  if (!(d > 0.0) || !(r > 0.0) || !(v > 0.0)) {
+    throw std::invalid_argument("competitive: need d, r, v > 0");
+  }
+}
+}  // namespace
+
+double offline_optimal_time(double d, double r, double v) {
+  check_dv(d, r, v);
+  return std::max(0.0, (d - r) / (1.0 + v));
+}
+
+double asymmetric_wait_lower_bound(double d, double r, double v) {
+  check_dv(d, r, v);
+  return std::max(0.0, (d - r) / std::max(1.0, v));
+}
+
+double competitive_ratio(double measured_time, double d, double r, double v) {
+  const double opt = offline_optimal_time(d, r, v);
+  if (opt <= 0.0) {
+    throw std::invalid_argument(
+        "competitive_ratio: offline optimum is 0 (d <= r)");
+  }
+  return measured_time / opt;
+}
+
+}  // namespace rv::analysis

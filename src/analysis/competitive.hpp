@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file competitive.hpp
+/// Competitive-ratio accounting.
+///
+/// The paper frames symmetric rendezvous against the asymmetric
+/// optimum ("the corresponding asymmetric rendezvous problem may have
+/// an optimal solution if one robot waits at its original location
+/// while the other is searching for it", Section 1) and, for time
+/// lower bounds, against the offline optimum in which both robots know
+/// everything and walk straight at each other.  These helpers compute
+/// those yardsticks so benches can report measured/OPT ratios.
+
+#include "geom/attributes.hpp"
+
+namespace rv::analysis {
+
+/// Offline optimum with full knowledge: both robots walk straight
+/// toward each other; the gap d − r closes at combined speed 1 + v.
+/// Returns max(0, (d − r)/(1 + v)).
+[[nodiscard]] double offline_optimal_time(double d, double r, double v);
+
+/// Asymmetric-strategy optimum ("wait for mommy"): the slower robot
+/// waits; the faster one must *search* for it since positions are
+/// unknown — lower-bounded by the direct travel time (d − r)/max(1, v).
+/// This is a lower bound on any wait-based asymmetric strategy.
+[[nodiscard]] double asymmetric_wait_lower_bound(double d, double r, double v);
+
+/// Competitive ratio of a measured rendezvous time against the offline
+/// optimum.  \throws std::invalid_argument when the optimum is 0
+/// (robots start within visibility).
+[[nodiscard]] double competitive_ratio(double measured_time, double d,
+                                       double r, double v);
+
+}  // namespace rv::analysis

@@ -1,0 +1,50 @@
+#include "analysis/reduction.hpp"
+
+#include <stdexcept>
+
+namespace rv::analysis {
+
+using geom::Mat2;
+using geom::RobotAttributes;
+using geom::Vec2;
+
+EquivalentSearch equivalent_search_common_chirality(double d, double r,
+                                                    double v, double phi) {
+  const double m = geom::mu(v, phi);
+  if (m <= 0.0) {
+    throw std::invalid_argument(
+        "equivalent_search_common_chirality: mu = 0 (infeasible)");
+  }
+  return {d / m, r / m};
+}
+
+EquivalentSearch equivalent_search_opposite_chirality(double d_len,
+                                                      const Vec2& d_hat,
+                                                      double r, double v,
+                                                      double phi) {
+  const Mat2 t_circ = geom::difference_matrix(v, phi, -1);
+  const double gain = geom::direction_gain(t_circ, d_hat);
+  if (gain <= 1e-15) {
+    throw std::invalid_argument(
+        "equivalent_search_opposite_chirality: zero gain (offset direction "
+        "is invariant; configuration infeasible)");
+  }
+  return {d_len / gain, r / gain};
+}
+
+EquivalentSearch equivalent_search_opposite_chirality_worst(double d, double r,
+                                                            double v) {
+  const double gain = geom::worst_case_gain_opposite_chirality(v);
+  return {d / gain, r / gain};
+}
+
+Vec2 separation_vector(const Vec2& s_t, const RobotAttributes& attrs,
+                       const Vec2& offset) {
+  if (attrs.time_unit != 1.0) {
+    throw std::invalid_argument("separation_vector: requires tau = 1");
+  }
+  const Mat2 t_circ = geom::difference_matrix(attrs);
+  return t_circ * s_t - offset;
+}
+
+}  // namespace rv::analysis

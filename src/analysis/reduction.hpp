@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file reduction.hpp
+/// The rendezvous → search reduction of Section 3 (Definition 1), made
+/// executable.
+///
+/// For τ = 1 the separation of the two robots is
+///     p₁(t) − p₂(t) = T∘·S(t) − d⃗,
+/// so a rendezvous instance (d⃗, r, v, φ, χ) is *equivalent* to a search
+/// instance in which the trajectory is S∘(t) = T∘·S(t).  For χ = +1
+/// this is simply a µ-scaled copy of S (Lemma 6); for χ = −1 Lemma 7
+/// reduces it to a per-direction inequality with gain |T∘ᵀ·d̂|.
+/// The functions here compute the equivalent instances; tests use them
+/// to verify the reduction against direct two-robot simulation.
+
+#include "geom/attributes.hpp"
+#include "geom/difference_map.hpp"
+#include "geom/vec2.hpp"
+
+namespace rv::analysis {
+
+/// An equivalent single-robot search instance.
+struct EquivalentSearch {
+  double d = 0.0;  ///< effective target distance
+  double r = 0.0;  ///< effective visibility radius
+};
+
+/// Lemma 6 (χ = +1): the equivalent instance is (d/µ, r/µ).
+/// \throws std::invalid_argument when µ = 0.
+[[nodiscard]] EquivalentSearch equivalent_search_common_chirality(
+    double d, double r, double v, double phi);
+
+/// Lemma 7 (χ = −1): per-direction reduction with gain g = |T∘ᵀ·d̂|,
+/// giving (d/g, r/g).  \throws std::invalid_argument when g = 0 (the
+/// offset direction is invariant — infeasible configuration).
+[[nodiscard]] EquivalentSearch equivalent_search_opposite_chirality(
+    double d_len, const geom::Vec2& d_hat, double r, double v, double phi);
+
+/// The worst case of the χ = −1 reduction over all offset directions
+/// and orientations at fixed v (Lemma 7's maximisation): gain 1 − v.
+[[nodiscard]] EquivalentSearch equivalent_search_opposite_chirality_worst(
+    double d, double r, double v);
+
+/// Applies the separation identity directly: given the common local
+/// trajectory position S(t) (reference frame), the attributes of R′
+/// (τ must be 1) and the initial offset d⃗, returns p₁(t) − p₂(t)
+/// = S(t) − (d⃗ + v·R(φ)·C(χ)·S(t)) = T∘·S(t) − d⃗.
+[[nodiscard]] geom::Vec2 separation_vector(const geom::Vec2& s_t,
+                                           const geom::RobotAttributes& attrs,
+                                           const geom::Vec2& offset);
+
+}  // namespace rv::analysis

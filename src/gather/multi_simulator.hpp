@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file multi_simulator.hpp
+/// N-robot gathering — the paper's stated future work ("it would be
+/// challenging to solve deterministic gathering for multiple robots in
+/// this setting of minimal knowledge", Section 5).
+///
+/// This module extends the certified two-robot sweep to N robots and
+/// two notions of success:
+///  * **pairwise gathering** — the first time every pair is within r
+///    (the robots can all see each other);
+///  * **first contact** — the first time *any* pair is within r (the
+///    natural induction step for merge-based gathering protocols).
+///
+/// The stepping argument generalises: every pairwise separation is
+/// Lipschitz with constant vᵢ + vⱼ, so
+///     Δt = min over unmet pairs of (d_ij − r)/(vᵢ + vⱼ)
+/// cannot skip any pair's first crossing.  For the gathering event the
+/// sweep tracks the *largest* pairwise distance instead.
+///
+/// The experiments built on this (bench_x1_gathering) are exploratory:
+/// the paper proves nothing about N > 2, and the measured outcomes are
+/// reported as observations, not reproductions.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "traj/frame.hpp"
+#include "traj/program.hpp"
+
+namespace rv::gather {
+
+/// What event terminates the sweep.
+enum class GatherMode {
+  kFirstContact,       ///< any pair within r
+  kAllPairsGathered,   ///< every pair within r simultaneously
+};
+
+/// Controls for the N-robot sweep.
+struct GatherOptions {
+  double visibility = 1.0;   ///< r
+  double max_time = 1e7;     ///< horizon
+  GatherMode mode = GatherMode::kAllPairsGathered;
+  double contact_tol = 1e-9;
+  double min_step = 1e-9;
+  std::uint64_t max_evals = 500'000'000;
+};
+
+/// Sweep outcome.
+struct GatherResult {
+  bool achieved = false;     ///< event occurred before the horizon
+  double time = 0.0;         ///< event time (or horizon)
+  int pair_i = -1;           ///< for kFirstContact: the meeting pair
+  int pair_j = -1;
+  double max_pairwise = 0.0;      ///< max pairwise distance at `time`
+  double min_max_pairwise = 0.0;  ///< smallest max-pairwise seen (diagnostic)
+  std::uint64_t evals = 0;
+  std::uint64_t segments = 0;
+};
+
+/// Certified N-robot sweep.  All robots run their own (independent)
+/// programs with their own attributes and origins.
+class MultiRobotSimulator {
+ public:
+  /// \throws std::invalid_argument for fewer than 2 robots, null
+  /// programs, or bad options.
+  MultiRobotSimulator(std::vector<sim::RobotSpec> robots,
+                      GatherOptions options);
+
+  /// Runs the sweep; single use.
+  [[nodiscard]] GatherResult run();
+
+  /// Number of robots.
+  [[nodiscard]] std::size_t size() const { return streams_.size(); }
+
+ private:
+  std::vector<traj::GlobalSegmentStream> streams_;
+  std::vector<traj::TimedSegment> current_;
+  GatherOptions opts_;
+};
+
+/// Convenience: N robots running (their own copies of) the same
+/// program, placed at `origins` with per-robot attributes.
+[[nodiscard]] GatherResult simulate_gathering(
+    const std::function<std::shared_ptr<traj::Program>()>& program_factory,
+    const std::vector<geom::RobotAttributes>& attributes,
+    const std::vector<geom::Vec2>& origins, const GatherOptions& options);
+
+}  // namespace rv::gather

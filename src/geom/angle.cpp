@@ -1,0 +1,31 @@
+#include "geom/angle.hpp"
+
+#include <cmath>
+
+#include "mathx/constants.hpp"
+
+namespace rv::geom {
+
+double normalize_angle(double theta) {
+  double t = std::fmod(theta, rv::mathx::kTwoPi);
+  if (t < 0.0) t += rv::mathx::kTwoPi;
+  // fmod can return exactly 2π after the correction when theta is a
+  // tiny negative number; map that back to 0.
+  if (t >= rv::mathx::kTwoPi) t = 0.0;
+  return t;
+}
+
+double normalize_angle_signed(double theta) {
+  const double t = normalize_angle(theta);
+  return t > rv::mathx::kPi ? t - rv::mathx::kTwoPi : t;
+}
+
+double angular_distance(double a, double b) {
+  return std::abs(normalize_angle_signed(a - b));
+}
+
+double deg_to_rad(double deg) { return deg * rv::mathx::kPi / 180.0; }
+
+double rad_to_deg(double rad) { return rad * 180.0 / rv::mathx::kPi; }
+
+}  // namespace rv::geom

@@ -1,0 +1,70 @@
+#include "geom/difference_map.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rv::geom {
+
+double mu(double v, double phi) {
+  // √(v² − 2v·cosφ + 1); algebraically ≥ 0, clamp guards rounding.
+  const double s = v * v - 2.0 * v * std::cos(phi) + 1.0;
+  return std::sqrt(std::max(0.0, s));
+}
+
+Mat2 difference_matrix(double v, double phi, int chi) {
+  if (!(v > 0.0)) throw std::invalid_argument("difference_matrix: v <= 0");
+  if (chi != 1 && chi != -1) {
+    throw std::invalid_argument("difference_matrix: chi must be +1 or -1");
+  }
+  const double c = std::cos(phi);
+  const double s = std::sin(phi);
+  const double x = static_cast<double>(chi);
+  return {1.0 - v * c, v * x * s, -v * s, 1.0 - v * x * c};
+}
+
+Mat2 difference_matrix(const RobotAttributes& attrs) {
+  return difference_matrix(attrs.speed, attrs.orientation, attrs.chirality);
+}
+
+DifferenceFactorization factor_difference_matrix(double v, double phi,
+                                                 int chi) {
+  const double m = mu(v, phi);
+  if (m <= 1e-15) {
+    throw std::invalid_argument(
+        "factor_difference_matrix: mu = 0 (v = 1, phi = 0); factorisation "
+        "undefined");
+  }
+  const double c = std::cos(phi);
+  const double s = std::sin(phi);
+  const double x = static_cast<double>(chi);
+  const Mat2 rot{(1.0 - v * c) / m, v * s / m, -v * s / m, (1.0 - v * c) / m};
+  const Mat2 upper{m, -(1.0 - x) * v * s / m, 0.0,
+                   (x * v * v - (1.0 + x) * v * c + 1.0) / m};
+  return {rot, upper};
+}
+
+Mat2 equivalent_search_map(double v, double phi, int chi) {
+  return factor_difference_matrix(v, phi, chi).upper;
+}
+
+double difference_determinant(double v, double phi, int chi) {
+  const double c = std::cos(phi);
+  const double s = std::sin(phi);
+  const double x = static_cast<double>(chi);
+  return (1.0 - v * c) * (1.0 - v * x * c) + x * v * v * s * s;
+}
+
+double direction_gain(const Mat2& t_circ, const Vec2& d_hat) {
+  return norm(transpose(t_circ) * d_hat);
+}
+
+double worst_case_gain_opposite_chirality(double v) {
+  if (!(v >= 0.0) || v >= 1.0) {
+    throw std::invalid_argument(
+        "worst_case_gain_opposite_chirality: need 0 <= v < 1 (v >= 1 with "
+        "chi = -1 and tau = 1 can make rendezvous infeasible)");
+  }
+  return 1.0 - v;
+}
+
+}  // namespace rv::geom

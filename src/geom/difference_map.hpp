@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file difference_map.hpp
+/// The equivalent-search reduction of Section 3.
+///
+/// For symmetric clocks (τ = 1) the rendezvous trajectory pair
+/// (S, S′) reduces to the single *equivalent search* trajectory
+/// S∘(t) = S(t) − S′(t) = T∘·S(t) with
+///
+///     T∘ = [ 1 − v·cosφ    v·χ·sinφ     ]
+///          [ −v·sinφ       1 − v·χ·cosφ ]
+///
+/// Lemma 5 factors T∘ = Φ·T∘′ with Φ a rotation and T∘′ upper
+/// triangular; Definition 1 then uses T∘′ as the difference map.  This
+/// header implements all of that algebra plus the scalar µ and the
+/// χ = −1 worst-case analysis of Lemma 7.
+
+#include "geom/attributes.hpp"
+#include "geom/mat2.hpp"
+
+namespace rv::geom {
+
+/// µ = √(v² − 2v·cosφ + 1): the distance between the two robots'
+/// images of a unit step.  µ = 0 iff v = 1 and φ = 0.
+[[nodiscard]] double mu(double v, double phi);
+
+/// The raw difference matrix T∘ of Section 3 (before rotation removal).
+[[nodiscard]] Mat2 difference_matrix(double v, double phi, int chi);
+
+/// Convenience overload taking the attributes of R′ (τ is ignored —
+/// the reduction is only valid for τ = 1, which callers must ensure).
+[[nodiscard]] Mat2 difference_matrix(const RobotAttributes& attrs);
+
+/// Result of the Lemma 5 QR factorisation T∘ = Φ·T∘′.
+struct DifferenceFactorization {
+  Mat2 rotation;  ///< Φ: orthogonal with det +1
+  Mat2 upper;     ///< T∘′: upper triangular
+};
+
+/// QR-factors T∘ per Lemma 5:
+///   Φ  = (1/µ)·[[1 − v·cosφ, v·sinφ], [−v·sinφ, 1 − v·cosφ]]
+///   T∘′ = [[µ, −(1−χ)·v·sinφ/µ], [0, (χv² − (1+χ)v·cosφ + 1)/µ]]
+/// \throws std::invalid_argument when µ = 0 (v = 1, φ = 0), where the
+/// factorisation is undefined (and rendezvous with τ = 1, χ = +1 is
+/// infeasible anyway).
+[[nodiscard]] DifferenceFactorization factor_difference_matrix(double v,
+                                                               double phi,
+                                                               int chi);
+
+/// The upper-triangular equivalent-search map T∘′ of Definition 1.
+[[nodiscard]] Mat2 equivalent_search_map(double v, double phi, int chi);
+
+/// det T∘ = (1 − v·cosφ)(1 − vχ·cosφ) + χ·v²·sin²φ.  Vanishes exactly
+/// on the infeasible symmetric-clock configurations: for χ = +1 when
+/// v = 1, φ = 0; for χ = −1 when v = 1 (any φ).
+[[nodiscard]] double difference_determinant(double v, double phi, int chi);
+
+/// |T∘ᵀ·d̂| for a unit direction d̂ — the per-direction scaling factor
+/// of the χ = −1 reduction in Lemma 7.
+[[nodiscard]] double direction_gain(const Mat2& t_circ, const Vec2& d_hat);
+
+/// Worst-case (minimum over d̂ and φ) direction gain for χ = −1 at
+/// speed v: the paper shows the bound is governed by (1 − v²)/µ with
+/// µ maximised at 1 + v, i.e. gain ≥ 1 − v (Lemma 7).
+[[nodiscard]] double worst_case_gain_opposite_chirality(double v);
+
+}  // namespace rv::geom

@@ -1,0 +1,21 @@
+#include "geom/vec2.hpp"
+
+#include <ostream>
+
+namespace rv::geom {
+
+Vec2 normalized(const Vec2& v) {
+  const double n = norm(v);
+  if (n == 0.0) return {0.0, 0.0};
+  return {v.x / n, v.y / n};
+}
+
+bool approx_equal(const Vec2& a, const Vec2& b, double abs_tol) {
+  return std::abs(a.x - b.x) <= abs_tol && std::abs(a.y - b.y) <= abs_tol;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace rv::geom

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file vec2.hpp
+/// Plain 2-D vectors with value semantics.  The whole library works in
+/// the global coordinate frame of robot R (the paper normalises R to
+/// unit speed / identity compass), so `Vec2` doubles as both points and
+/// displacement vectors.
+
+#include <cmath>
+#include <iosfwd>
+
+namespace rv::geom {
+
+/// A 2-D vector / point.  Aggregate with no invariant (C.? "use struct
+/// if no invariant").
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  bool operator==(const Vec2&) const = default;
+};
+
+[[nodiscard]] constexpr Vec2 operator+(Vec2 a, const Vec2& b) { return a += b; }
+[[nodiscard]] constexpr Vec2 operator-(Vec2 a, const Vec2& b) { return a -= b; }
+[[nodiscard]] constexpr Vec2 operator*(double s, Vec2 v) { return v *= s; }
+[[nodiscard]] constexpr Vec2 operator*(Vec2 v, double s) { return v *= s; }
+[[nodiscard]] constexpr Vec2 operator-(const Vec2& v) { return {-v.x, -v.y}; }
+
+/// Dot product.
+[[nodiscard]] constexpr double dot(const Vec2& a, const Vec2& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// 2-D cross product (z component of the 3-D cross product).
+[[nodiscard]] constexpr double cross(const Vec2& a, const Vec2& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+/// Squared Euclidean norm.
+[[nodiscard]] constexpr double norm_sq(const Vec2& v) { return dot(v, v); }
+
+/// Euclidean norm.
+[[nodiscard]] inline double norm(const Vec2& v) { return std::hypot(v.x, v.y); }
+
+/// Euclidean distance between two points.
+[[nodiscard]] inline double distance(const Vec2& a, const Vec2& b) {
+  return norm(a - b);
+}
+
+/// Unit vector in the direction of v.  Returns {0,0} for the zero vector.
+[[nodiscard]] Vec2 normalized(const Vec2& v);
+
+/// Unit vector at angle θ from the +x axis.
+[[nodiscard]] inline Vec2 unit(double theta) {
+  return {std::cos(theta), std::sin(theta)};
+}
+
+/// Polar constructor: radius ρ at angle θ.
+[[nodiscard]] inline Vec2 polar(double rho, double theta) {
+  return {rho * std::cos(theta), rho * std::sin(theta)};
+}
+
+/// CCW perpendicular (rotation by +90°).
+[[nodiscard]] constexpr Vec2 perp(const Vec2& v) { return {-v.y, v.x}; }
+
+/// Linear interpolation a + t·(b − a).
+[[nodiscard]] constexpr Vec2 lerp(const Vec2& a, const Vec2& b, double t) {
+  return {a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+}
+
+/// Angle of v measured CCW from the +x axis, in (−π, π].
+[[nodiscard]] inline double angle_of(const Vec2& v) {
+  return std::atan2(v.y, v.x);
+}
+
+/// True if both components are finite.
+[[nodiscard]] inline bool is_finite(const Vec2& v) {
+  return std::isfinite(v.x) && std::isfinite(v.y);
+}
+
+/// Componentwise approximate equality with absolute tolerance.
+[[nodiscard]] bool approx_equal(const Vec2& a, const Vec2& b,
+                                double abs_tol = 1e-9);
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v);
+
+}  // namespace rv::geom

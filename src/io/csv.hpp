@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal RFC-4180-style CSV writing/parsing for experiment outputs.
+/// Benches dump their sweeps as CSV next to the printed tables so that
+/// plots can be regenerated offline.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rv::io {
+
+/// One CSV record.
+using CsvRow = std::vector<std::string>;
+
+/// Escapes a single field per RFC 4180 (quotes fields containing
+/// commas, quotes or newlines; doubles embedded quotes).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Streams rows to an output stream.
+class CsvWriter {
+ public:
+  /// Writes to `os`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os);
+
+  /// Writes a header row (only allowed before any data row).
+  void header(const CsvRow& names);
+
+  /// Writes one data row.
+  void row(const CsvRow& fields);
+
+  /// Convenience: writes a row of doubles with `precision` significant
+  /// digits.
+  void row_numeric(const std::vector<double>& values, int precision = 12);
+
+  /// Rows written (excluding the header).
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_row(const CsvRow& fields);
+  std::ostream& os_;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Parses CSV text into rows (supports quoted fields with embedded
+/// commas/newlines/doubled quotes).  Intended for test round-trips.
+[[nodiscard]] std::vector<CsvRow> parse_csv(const std::string& text);
+
+/// Formats a double with given significant digits (shortest-ish form).
+[[nodiscard]] std::string format_double(double v, int precision = 12);
+
+}  // namespace rv::io

@@ -1,0 +1,129 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rv::io {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+  aligns_.assign(columns_.size(), Align::kRight);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table::add_row: arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) cells.push_back(format_fixed(v, precision));
+  add_row(std::move(cells));
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  if (column >= aligns_.size()) {
+    throw std::out_of_range("Table::set_align: column out of range");
+  }
+  aligns_[column] = align;
+}
+
+std::vector<std::size_t> Table::widths() const {
+  std::vector<std::size_t> w(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) w[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      w[i] = std::max(w[i], row[i].size());
+    }
+  }
+  return w;
+}
+
+namespace {
+void pad_cell(std::ostream& os, const std::string& cell, std::size_t width,
+              Align align) {
+  const std::size_t padding = width - std::min(width, cell.size());
+  if (align == Align::kRight) os << std::string(padding, ' ');
+  os << cell;
+  if (align == Align::kLeft) os << std::string(padding, ' ');
+}
+}  // namespace
+
+std::string Table::to_ascii() const {
+  const std::vector<std::size_t> w = widths();
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (const std::size_t width : w) os << std::string(width + 2, '-') << '+';
+    os << '\n';
+  };
+  rule();
+  os << '|';
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << ' ';
+    pad_cell(os, columns_[i], w[i], Align::kLeft);
+    os << " |";
+  }
+  os << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << ' ';
+      pad_cell(os, row[i], w[i], aligns_[i]);
+      os << " |";
+    }
+    os << '\n';
+  }
+  rule();
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  os << '|';
+  for (const auto& c : columns_) os << ' ' << c << " |";
+  os << "\n|";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << (aligns_[i] == Align::kRight ? " ---: |" : " :--- |");
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << '|';
+    for (const auto& cell : row) os << ' ' << cell << " |";
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << title << '\n';
+  os << to_ascii();
+}
+
+std::string format_fixed(double v, int precision) {
+  std::ostringstream os;
+  const double mag = v < 0 ? -v : v;
+  if (mag != 0.0 && (mag >= 1e7 || mag < 1e-4)) {
+    os << std::scientific << std::setprecision(precision) << v;
+  } else {
+    os << std::fixed << std::setprecision(precision) << v;
+  }
+  return os.str();
+}
+
+std::string format_sci(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace rv::io

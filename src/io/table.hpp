@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file table.hpp
+/// Console/markdown table rendering.  Every bench binary prints the
+/// rows the corresponding paper artifact would contain; this class
+/// keeps the formatting consistent across all experiments.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rv::io {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows, then renders as aligned ASCII or GitHub markdown.
+class Table {
+ public:
+  /// Creates a table with the given column names.
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends a row; must have exactly as many cells as columns.
+  /// \throws std::invalid_argument on arity mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  void add_numeric_row(const std::vector<double>& values, int precision = 4);
+
+  /// Sets alignment for a column (default: right).
+  void set_align(std::size_t column, Align align);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  /// Number of columns.
+  [[nodiscard]] std::size_t columns() const { return columns_.size(); }
+
+  /// Renders as an aligned, box-drawn ASCII table.
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// Renders as a GitHub-flavoured markdown table.
+  [[nodiscard]] std::string to_markdown() const;
+
+  /// Prints the ASCII rendering to `os` with an optional title line.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> widths() const;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+};
+
+/// Fixed-precision formatter used by the benches ("12.34", "1.2e+06").
+[[nodiscard]] std::string format_fixed(double v, int precision = 4);
+
+/// Scientific formatter.
+[[nodiscard]] std::string format_sci(double v, int precision = 3);
+
+}  // namespace rv::io

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file constants.hpp
+/// Numeric constants shared across the library, including the specific
+/// constants appearing in the running-time algebra of the paper
+/// (Lemma 2, Lemma 8 of Czyzowicz et al., PODC 2019).
+
+#include <numbers>
+
+namespace rv::mathx {
+
+/// π with full double precision.
+inline constexpr double kPi = std::numbers::pi_v<double>;
+
+/// 2π — one full turn.
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// The constant 2(π+1): the time to complete SearchCircle(δ) is 2(π+1)·δ
+/// (move out δ, traverse 2πδ, move back δ — Lemma 2).
+inline constexpr double kSearchCircleFactor = 2.0 * (kPi + 1.0);
+
+/// The constant 3(π+1) appearing in the per-round times of Search(k)
+/// (Lemma 2: one annulus round of Search(k) takes 3(π+1)(2^{j−k} + 2^k)).
+inline constexpr double kThreePiPlus1 = 3.0 * (kPi + 1.0);
+
+/// The constant 6(π+1) of the Theorem 1 search-time bound.
+inline constexpr double kTheorem1Factor = 6.0 * (kPi + 1.0);
+
+/// The constant 12(π+1) of S(n) = 12(π+1)·n·2ⁿ (Equation (1)).
+inline constexpr double kSearchAllFactor = 12.0 * (kPi + 1.0);
+
+/// The constant 24(π+1) of I(n)/A(n) (Lemma 8).
+inline constexpr double kScheduleFactor = 24.0 * (kPi + 1.0);
+
+/// Default relative tolerance used by numeric routines in this library.
+inline constexpr double kDefaultRelTol = 1e-12;
+
+/// Default absolute tolerance for geometric contact detection.
+inline constexpr double kDefaultAbsTol = 1e-9;
+
+}  // namespace rv::mathx

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file interval.hpp
+/// Closed real intervals.  Used for phase windows of Algorithm 7:
+/// the overlap lemmas (Lemmas 9 and 10) are statements about the
+/// intersection length of active/inactive time intervals.
+
+#include <optional>
+
+namespace rv::mathx {
+
+/// A closed interval [lo, hi].  An interval with hi < lo is "empty";
+/// use the factory functions to construct valid ones.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// Length (0 for empty intervals).
+  [[nodiscard]] double length() const { return hi > lo ? hi - lo : 0.0; }
+  /// True iff hi < lo.
+  [[nodiscard]] bool empty() const { return hi < lo; }
+  /// True iff x ∈ [lo, hi].
+  [[nodiscard]] bool contains(double x) const { return lo <= x && x <= hi; }
+  /// True iff the intersection with `o` is non-degenerate (positive length).
+  [[nodiscard]] bool overlaps(const Interval& o) const;
+  /// Midpoint of the interval.
+  [[nodiscard]] double midpoint() const { return 0.5 * (lo + hi); }
+
+  bool operator==(const Interval&) const = default;
+};
+
+/// Constructs [lo, hi]; throws std::invalid_argument if hi < lo.
+[[nodiscard]] Interval make_interval(double lo, double hi);
+
+/// Intersection of two intervals, or nullopt if they are disjoint.
+[[nodiscard]] std::optional<Interval> intersect(const Interval& a,
+                                                const Interval& b);
+
+/// Length of the intersection (0 when disjoint).
+[[nodiscard]] double overlap_length(const Interval& a, const Interval& b);
+
+/// Smallest interval containing both inputs.
+[[nodiscard]] Interval hull(const Interval& a, const Interval& b);
+
+/// Scales an interval by s ≥ 0 about the origin: [s·lo, s·hi].
+[[nodiscard]] Interval scale(const Interval& a, double s);
+
+}  // namespace rv::mathx

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file kahan.hpp
+/// Compensated (Kahan–Neumaier) summation.  Trajectory durations are sums
+/// of thousands of geometrically growing segment lengths; compensated
+/// accumulation keeps simulated clocks consistent with the closed-form
+/// schedule of Lemma 8 to near machine precision.
+
+namespace rv::mathx {
+
+/// Neumaier variant of Kahan summation (handles terms larger than the
+/// running sum, which happens with geometrically increasing segments).
+class KahanSum {
+ public:
+  /// Adds one term.
+  void add(double x) {
+    const double t = sum_ + x;
+    if (abs_ge(sum_, x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  /// Current compensated value.
+  [[nodiscard]] double value() const { return sum_ + comp_; }
+
+  /// Resets to zero.
+  void reset() { sum_ = comp_ = 0.0; }
+
+ private:
+  static bool abs_ge(double a, double b) {
+    return (a >= 0 ? a : -a) >= (b >= 0 ? b : -b);
+  }
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+}  // namespace rv::mathx

@@ -1,0 +1,57 @@
+#include "rendezvous/core.hpp"
+
+#include <stdexcept>
+
+#include "rendezvous/algorithm7.hpp"
+#include "search/algorithm4.hpp"
+
+namespace rv::rendezvous {
+
+std::function<std::shared_ptr<traj::Program>()> program_factory(
+    AlgorithmChoice choice) {
+  switch (choice) {
+    case AlgorithmChoice::kAlgorithm4:
+      return [] { return search::make_search_program(); };
+    case AlgorithmChoice::kAlgorithm7:
+      return [] { return make_rendezvous_program(); };
+  }
+  throw std::invalid_argument("program_factory: unknown algorithm");
+}
+
+Outcome run_scenario(const Scenario& scenario) {
+  const geom::RobotAttributes attrs = geom::validated(scenario.attrs);
+  const double d = geom::norm(scenario.offset);
+  if (!(d > 0.0)) {
+    throw std::invalid_argument("run_scenario: robots must start apart");
+  }
+  if (!(scenario.visibility > 0.0)) {
+    throw std::invalid_argument("run_scenario: visibility must be > 0");
+  }
+
+  sim::SimOptions options;
+  options.visibility = scenario.visibility;
+  options.max_time = scenario.max_time;
+
+  Outcome outcome;
+  outcome.feasibility = classify(attrs);
+  outcome.initial_distance = d;
+  outcome.algorithm_name =
+      scenario.algorithm == AlgorithmChoice::kAlgorithm4 ? "algorithm4"
+                                                         : "algorithm7";
+  outcome.sim = sim::simulate_rendezvous(program_factory(scenario.algorithm),
+                                         attrs, scenario.offset, options);
+  return outcome;
+}
+
+Outcome run_universal(const geom::RobotAttributes& attrs, double d, double r,
+                      double max_time) {
+  Scenario scenario;
+  scenario.attrs = attrs;
+  scenario.offset = {d, 0.0};
+  scenario.visibility = r;
+  scenario.algorithm = AlgorithmChoice::kAlgorithm7;
+  scenario.max_time = max_time;
+  return run_scenario(scenario);
+}
+
+}  // namespace rv::rendezvous

@@ -1,0 +1,72 @@
+#include "rendezvous/feasibility.hpp"
+
+#include <cmath>
+
+#include "geom/difference_map.hpp"
+
+namespace rv::rendezvous {
+
+using geom::RobotAttributes;
+using geom::Vec2;
+
+bool is_feasible(FeasibilityClass c) {
+  return c == FeasibilityClass::kDifferentClocks ||
+         c == FeasibilityClass::kDifferentSpeeds ||
+         c == FeasibilityClass::kOrientationOnly;
+}
+
+FeasibilityClass classify(const RobotAttributes& attrs) {
+  if (attrs.time_unit != 1.0) return FeasibilityClass::kDifferentClocks;
+  if (attrs.speed != 1.0) return FeasibilityClass::kDifferentSpeeds;
+  if (attrs.chirality == 1) {
+    if (attrs.orientation != 0.0) return FeasibilityClass::kOrientationOnly;
+    return FeasibilityClass::kInfeasibleIdentical;
+  }
+  return FeasibilityClass::kInfeasibleMirror;
+}
+
+bool rendezvous_feasible(const RobotAttributes& attrs) {
+  return is_feasible(classify(attrs));
+}
+
+std::string describe(FeasibilityClass c) {
+  switch (c) {
+    case FeasibilityClass::kDifferentClocks:
+      return "feasible: different clocks (tau != 1, Theorem 3)";
+    case FeasibilityClass::kDifferentSpeeds:
+      return "feasible: different speeds (v != 1, Theorem 2)";
+    case FeasibilityClass::kOrientationOnly:
+      return "feasible: different orientations with common chirality "
+             "(chi = 1, 0 < phi < 2pi, Theorem 2)";
+    case FeasibilityClass::kInfeasibleIdentical:
+      return "infeasible: identical robots (difference map is zero)";
+    case FeasibilityClass::kInfeasibleMirror:
+      return "infeasible: mirror robots (difference map is singular)";
+  }
+  return "unknown";
+}
+
+double separation_lower_bound(const RobotAttributes& attrs,
+                              const Vec2& offset) {
+  const FeasibilityClass c = classify(attrs);
+  if (is_feasible(c)) return 0.0;
+  if (c == FeasibilityClass::kInfeasibleIdentical) return geom::norm(offset);
+
+  // Mirror robots: S(t) − S′(t) = T∘·S(t) with T∘ singular but (for
+  // phi != 0 or v != 1... here v = 1) generally non-zero.  The
+  // difference trajectory lives on the line spanned by the columns of
+  // T∘; the robots' separation is |offset − T∘·S(t)| ≥ distance from
+  // `offset` to that line.
+  const geom::Mat2 t_circ =
+      geom::difference_matrix(attrs.speed, attrs.orientation, attrs.chirality);
+  // Pick the larger column as the span direction.
+  const Vec2 col1{t_circ.a, t_circ.c};
+  const Vec2 col2{t_circ.b, t_circ.d};
+  const Vec2 dir = geom::norm_sq(col1) >= geom::norm_sq(col2) ? col1 : col2;
+  if (geom::norm(dir) < 1e-15) return geom::norm(offset);  // T∘ ≈ 0 (phi = 0)
+  const Vec2 u = geom::normalized(dir);
+  // Distance from offset to span(u).
+  return std::abs(geom::cross(u, offset));
+}
+
+}  // namespace rv::rendezvous

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file feasibility.hpp
+/// Theorem 4 — the feasibility characterisation.
+///
+/// Rendezvous of two robots whose relative attributes are
+/// (v, τ, φ, χ) is feasible **iff**
+///     τ ≠ 1   or   v ≠ 1   or   (χ = +1 and 0 < φ < 2π).
+/// The two infeasible families are:
+///  * *identical* robots  (v = τ = 1, φ = 0, χ = +1): the difference
+///    map T∘ is the zero matrix — the separation never changes;
+///  * *mirror* robots     (v = τ = 1, χ = −1, any φ): T∘ is singular —
+///    the difference trajectory is confined to a line, so any
+///    separation component perpendicular to that line is invariant.
+
+#include <string>
+
+#include "geom/attributes.hpp"
+#include "geom/vec2.hpp"
+
+namespace rv::rendezvous {
+
+/// Why rendezvous is feasible (or not) for a given attribute tuple.
+enum class FeasibilityClass {
+  kDifferentClocks,        ///< τ ≠ 1 (Theorem 3)
+  kDifferentSpeeds,        ///< τ = 1, v ≠ 1 (Theorem 2)
+  kOrientationOnly,        ///< τ = 1, v = 1, χ = +1, 0 < φ < 2π (Theorem 2)
+  kInfeasibleIdentical,    ///< identical robots — T∘ = 0
+  kInfeasibleMirror,       ///< mirror robots — T∘ singular
+};
+
+/// True iff the class is one of the feasible families.
+[[nodiscard]] bool is_feasible(FeasibilityClass c);
+
+/// Classifies the relative attributes per Theorem 4.  Exact comparisons
+/// are intentional: the theorem is a statement about exact equality of
+/// hidden parameters.
+[[nodiscard]] FeasibilityClass classify(const geom::RobotAttributes& attrs);
+
+/// Theorem 4 predicate: τ ≠ 1 ∨ v ≠ 1 ∨ (χ = 1 ∧ 0 < φ < 2π).
+[[nodiscard]] bool rendezvous_feasible(const geom::RobotAttributes& attrs);
+
+/// Human-readable explanation of the classification.
+[[nodiscard]] std::string describe(FeasibilityClass c);
+
+/// For an *infeasible* tuple, the invariant lower bound on the
+/// separation the robots can ever achieve, given initial offset d⃗:
+///  * identical robots: |d⃗| (the separation is constant);
+///  * mirror robots: the distance from d⃗ to the line spanned by the
+///    (rank-1) difference map's column space.
+/// Returns 0 for feasible tuples.
+[[nodiscard]] double separation_lower_bound(const geom::RobotAttributes& attrs,
+                                            const geom::Vec2& offset);
+
+}  // namespace rv::rendezvous

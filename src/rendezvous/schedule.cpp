@@ -1,0 +1,142 @@
+#include "rendezvous/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/constants.hpp"
+
+namespace rv::rendezvous {
+
+using rv::mathx::Interval;
+using rv::mathx::pow2;
+
+namespace {
+void check_round(int n, const char* who) {
+  if (n < 1) throw std::invalid_argument(std::string(who) + ": round must be >= 1");
+}
+void check_ka(int k, int a, const char* who) {
+  if (a < 0) throw std::invalid_argument(std::string(who) + ": a must be >= 0");
+  if (k < 2 * (a + 1)) {
+    throw std::invalid_argument(std::string(who) + ": requires k >= 2(a+1)");
+  }
+}
+}  // namespace
+
+double search_all_time(int n) {
+  check_round(n, "search_all_time");
+  return rv::mathx::kSearchAllFactor * n * pow2(n);
+}
+
+double inactive_start(int n) {
+  check_round(n, "inactive_start");
+  return rv::mathx::kScheduleFactor * ((2.0 * n - 4.0) * pow2(n) + 4.0);
+}
+
+double active_start(int n) {
+  check_round(n, "active_start");
+  return rv::mathx::kScheduleFactor * ((3.0 * n - 4.0) * pow2(n) + 4.0);
+}
+
+Interval inactive_phase(int n) {
+  return Interval{inactive_start(n), active_start(n)};
+}
+
+Interval active_phase(int n) {
+  return Interval{active_start(n), inactive_start(n + 1)};
+}
+
+Interval inactive_phase_global(int n, double tau) {
+  if (!(tau > 0.0)) {
+    throw std::invalid_argument("inactive_phase_global: tau must be > 0");
+  }
+  return rv::mathx::scale(inactive_phase(n), tau);
+}
+
+Interval active_phase_global(int n, double tau) {
+  if (!(tau > 0.0)) {
+    throw std::invalid_argument("active_phase_global: tau must be > 0");
+  }
+  return rv::mathx::scale(active_phase(n), tau);
+}
+
+Interval lemma9_tau_window(int k, int a) {
+  check_ka(k, a, "lemma9_tau_window");
+  const double base =
+      static_cast<double>(k) / static_cast<double>(k + 1 + a) * pow2(-a - 1);
+  return Interval{base, 1.5 * base};
+}
+
+double lemma9_overlap(double tau, int k, int a) {
+  check_ka(k, a, "lemma9_overlap");
+  return tau * active_start(k + 1 + a) - active_start(k);
+}
+
+Interval lemma10_tau_window(int k, int a) {
+  check_ka(k, a, "lemma10_tau_window");
+  const double lo = (2.0 / 3.0) * static_cast<double>(k) /
+                    static_cast<double>(k + a) * pow2(-a);
+  const double hi =
+      static_cast<double>(k) / static_cast<double>(k + 1 + a) * pow2(-a);
+  return Interval{lo, hi};
+}
+
+double lemma10_overlap(double tau, int k, int a) {
+  check_ka(k, a, "lemma10_overlap");
+  return inactive_start(k) - tau * inactive_start(k + a);
+}
+
+int rendezvous_round_bound(double tau, int n) {
+  if (!(tau > 0.0) || !(tau < 1.0)) {
+    throw std::invalid_argument("rendezvous_round_bound: need 0 < tau < 1");
+  }
+  check_round(n, "rendezvous_round_bound");
+  const rv::mathx::DyadicDecomposition dec = rv::mathx::dyadic_decompose(tau);
+  const double t = dec.t;
+  const double a1 = static_cast<double>(dec.a + 1);
+  // ceil with a tolerance: quantities like t/(1−t) pick up 1-ulp noise
+  // that must not inflate the round bound by a whole round.
+  const auto ceil_eps = [](double x) { return std::ceil(x - 1e-9); };
+  double k_star;
+  if (t <= 2.0 / 3.0) {
+    const double growth =
+        static_cast<double>(n) + ceil_eps(std::log2(static_cast<double>(n) / a1));
+    k_star = std::max(8.0 * a1, growth);
+  } else {
+    const double growth =
+        static_cast<double>(n) +
+        ceil_eps(std::log2(static_cast<double>(n) / (1.0 - t)));
+    k_star = std::max(a1 * t / (1.0 - t), growth);
+  }
+  // Rounds are integers; k* must also be large enough for the overlap
+  // lemmas to apply at all (k ≥ 2(a+1)).
+  k_star = std::max(k_star, 2.0 * a1);
+  return static_cast<int>(ceil_eps(k_star));
+}
+
+double rendezvous_time_bound(double tau, int n) {
+  const int k_star = rendezvous_round_bound(tau, n);
+  // The searching robot is the reference (time unit 1); it completes
+  // round k* by local time I(k*+1), which is also global time.
+  return inactive_start(k_star + 1);
+}
+
+std::optional<Interval> best_overlap_with_inactive(int k, double tau,
+                                                   int max_peer_round) {
+  check_round(k, "best_overlap_with_inactive");
+  if (!(tau > 0.0)) {
+    throw std::invalid_argument("best_overlap_with_inactive: tau must be > 0");
+  }
+  const Interval active = active_phase_global(k, 1.0);
+  std::optional<Interval> best;
+  for (int peer = 1; peer <= max_peer_round; ++peer) {
+    const Interval inactive = inactive_phase_global(peer, tau);
+    if (inactive.lo > active.hi) break;  // peer phases are monotone in n
+    const auto common = rv::mathx::intersect(active, inactive);
+    if (!common || common->length() <= 0.0) continue;
+    if (!best || common->length() > best->length()) best = common;
+  }
+  return best;
+}
+
+}  // namespace rv::rendezvous

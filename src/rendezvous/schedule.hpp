@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file schedule.hpp
+/// The phase-schedule algebra of Algorithm 7 (Section 4): round
+/// durations, inactive/active phase start times (Lemma 8), the overlap
+/// lemmas (Lemmas 9 and 10), and the rendezvous-round bound k*
+/// (Lemmas 11–13).
+///
+/// All times are in the *local* clock of the robot executing the
+/// algorithm; a robot with time unit τ realises these instants at
+/// global time τ·(local instant).
+
+#include <optional>
+
+#include "mathx/binary.hpp"
+#include "mathx/interval.hpp"
+
+namespace rv::rendezvous {
+
+/// S(n) = 12(π+1)·n·2ⁿ — time of SearchAll(n) (Equation (1)).
+[[nodiscard]] double search_all_time(int n);
+
+/// I(n) = 24(π+1)[(2n−4)·2ⁿ + 4] — local start of the nth inactive
+/// phase (Lemma 8).
+[[nodiscard]] double inactive_start(int n);
+
+/// A(n) = 24(π+1)[(3n−4)·2ⁿ + 4] — local start of the nth active phase
+/// (Lemma 8).
+[[nodiscard]] double active_start(int n);
+
+/// The nth inactive phase [I(n), A(n)] on the local clock.
+[[nodiscard]] rv::mathx::Interval inactive_phase(int n);
+
+/// The nth active phase [A(n), I(n+1)] on the local clock.
+[[nodiscard]] rv::mathx::Interval active_phase(int n);
+
+/// Global-time phases for a robot with time unit τ.
+[[nodiscard]] rv::mathx::Interval inactive_phase_global(int n, double tau);
+[[nodiscard]] rv::mathx::Interval active_phase_global(int n, double tau);
+
+/// Lemma 9 — τ window (for parameters k, a) under which the kth active
+/// phase of R (τ_R = 1) overlaps the (k+1+a)th inactive phase of R′
+/// (time unit τ): [k/(k+1+a)·2^{−(a+1)}, (3/2)·k/(k+1+a)·2^{−(a+1)}].
+/// Requires k ≥ 2(a+1).
+[[nodiscard]] rv::mathx::Interval lemma9_tau_window(int k, int a);
+
+/// Lemma 9 — overlap amount τ·A(k+1+a) − A(k) (valid when τ is inside
+/// the window; may be negative outside it).
+[[nodiscard]] double lemma9_overlap(double tau, int k, int a);
+
+/// Lemma 10 — τ window [2/3·k/(k+a)·2^{−a}, k/(k+1+a)·2^{−a}] under
+/// which the (k−1)st active phase of R overlaps the (k+a)th inactive
+/// phase of R′.  Requires k ≥ 2(a+1).
+[[nodiscard]] rv::mathx::Interval lemma10_tau_window(int k, int a);
+
+/// Lemma 10 — overlap amount I(k) − τ·I(k+a).
+[[nodiscard]] double lemma10_overlap(double tau, int k, int a);
+
+/// Lemma 13 — upper bound on the Algorithm 7 round by which the robots
+/// rendezvous, given clock ratio τ = t·2⁻ᵃ ∈ (0, 1) and the round n on
+/// which the searching robot would find a *stationary* peer:
+///  * t ∈ [1/2, 2/3]: k* = max{8(a+1), n + ⌈log₂(n/(a+1))⌉}
+///  * t ∈ (2/3, 1):   k* = max{(a+1)·t/(1−t), n + ⌈log₂(n/(1−t))⌉}
+/// \throws std::invalid_argument unless 0 < τ < 1 and n ≥ 1.
+[[nodiscard]] int rendezvous_round_bound(double tau, int n);
+
+/// Lemma 14 / Theorem 3 — upper bound on the *global* rendezvous time:
+/// the searching robot completes k* rounds by local time I(k*+1); both
+/// robots' clocks are within max(1, τ) of global time.
+[[nodiscard]] double rendezvous_time_bound(double tau, int n);
+
+/// Computes the actual overlap (in global time) between the active
+/// phase `k` of the reference robot and any inactive phase of a robot
+/// with time unit τ, scanning peer rounds; returns the best overlap
+/// interval if positive.  This is the measured counterpart of
+/// Lemmas 9/10 used by experiment E6.
+[[nodiscard]] std::optional<rv::mathx::Interval> best_overlap_with_inactive(
+    int k, double tau, int max_peer_round = 64);
+
+}  // namespace rv::rendezvous

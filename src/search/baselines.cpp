@@ -1,0 +1,148 @@
+#include "search/baselines.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/binary.hpp"
+#include "mathx/constants.hpp"
+
+namespace rv::search {
+
+using geom::Vec2;
+using rv::mathx::pow2;
+using traj::ArcSeg;
+using traj::LineSeg;
+using traj::Segment;
+
+// ---------------------------------------------------------------------------
+// ConcentricSweepProgram
+// ---------------------------------------------------------------------------
+
+ConcentricSweepProgram::ConcentricSweepProgram() { load_round(); }
+
+void ConcentricSweepProgram::load_round() {
+  // Round m: granularity ρ = 2^{−m}, range R = 2^m, circles at radii
+  // (2i+1)ρ for i = 0..count−1 with count = R/(2ρ) = 2^{2m−1}.
+  count_ = std::uint64_t{1} << (2 * m_ - 1);
+  i_ = 0;
+  phase_ = 0;
+}
+
+double ConcentricSweepProgram::radius() const {
+  const double rho = pow2(-m_);
+  return (2.0 * static_cast<double>(i_) + 1.0) * rho;
+}
+
+double ConcentricSweepProgram::round_time(int m) {
+  if (m < 1 || m > 20) {
+    throw std::invalid_argument("ConcentricSweepProgram::round_time: bad m");
+  }
+  // Σ_{i=0}^{count−1} 2(π+1)(2i+1)ρ = 2(π+1)·ρ·count².
+  const double rho = pow2(-m);
+  const double count = pow2(2 * m - 1);
+  return rv::mathx::kSearchCircleFactor * rho * count * count;
+}
+
+Segment ConcentricSweepProgram::next() {
+  const double r = radius();
+  Segment seg;
+  switch (phase_) {
+    case 0:
+      seg = LineSeg{{0.0, 0.0}, {r, 0.0}};
+      break;
+    case 1:
+      seg = ArcSeg{{0.0, 0.0}, r, 0.0, rv::mathx::kTwoPi};
+      break;
+    default:
+      seg = LineSeg{{r, 0.0}, {0.0, 0.0}};
+      break;
+  }
+  if (++phase_ == 3) {
+    phase_ = 0;
+    if (++i_ == count_) {
+      ++m_;
+      if (m_ > 30) {
+        throw std::logic_error("ConcentricSweepProgram: round overflow");
+      }
+      load_round();
+    }
+  }
+  return seg;
+}
+
+// ---------------------------------------------------------------------------
+// SquareSpiralProgram
+// ---------------------------------------------------------------------------
+
+SquareSpiralProgram::SquareSpiralProgram() { load_round(); }
+
+double SquareSpiralProgram::half_extent() const { return pow2(m_); }
+
+double SquareSpiralProgram::step() const {
+  return pow2(-m_) * std::sqrt(2.0);
+}
+
+void SquareSpiralProgram::load_round() {
+  const double h = half_extent();
+  const double s = step();
+  rows_ = static_cast<std::int64_t>(std::floor(2.0 * h / s)) + 1;
+  row_ = 0;
+  phase_ = 0;
+}
+
+double SquareSpiralProgram::round_time(int m) {
+  if (m < 1 || m > 16) {
+    throw std::invalid_argument("SquareSpiralProgram::round_time: bad m");
+  }
+  const double h = pow2(m);
+  const double s = pow2(-m) * std::sqrt(2.0);
+  const auto rows = static_cast<std::int64_t>(std::floor(2.0 * h / s)) + 1;
+  // First approach: origin → (−h, −h); then per row one scan of 2h and
+  // (rows−1) inter-row moves of length s; finally home from the last
+  // scan endpoint.
+  const double y_last = -h + static_cast<double>(rows - 1) * s;
+  const double x_last = (rows % 2 == 1) ? h : -h;
+  return std::sqrt(2.0) * h + static_cast<double>(rows) * 2.0 * h +
+         static_cast<double>(rows - 1) * s + std::hypot(x_last, y_last);
+}
+
+Segment SquareSpiralProgram::next() {
+  const double h = half_extent();
+  const double s = step();
+  const double y = -h + static_cast<double>(row_) * s;
+
+  Segment seg;
+  if (phase_ == 0) {
+    // Move (diagonally for the first row, vertically otherwise) to the
+    // start of the scan row.
+    const Vec2 target{(row_ % 2 == 0) ? -h : h, y};
+    seg = LineSeg{cursor_, target};
+    cursor_ = target;
+    phase_ = 1;
+  } else if (phase_ == 1) {
+    const Vec2 target{(row_ % 2 == 0) ? h : -h, y};
+    seg = LineSeg{cursor_, target};
+    cursor_ = target;
+    ++row_;
+    phase_ = (row_ < rows_) ? 0 : 2;
+  } else {
+    seg = LineSeg{cursor_, {0.0, 0.0}};
+    cursor_ = {0.0, 0.0};
+    ++m_;
+    if (m_ > 16) {
+      throw std::logic_error("SquareSpiralProgram: round overflow");
+    }
+    load_round();
+  }
+  return seg;
+}
+
+std::shared_ptr<traj::Program> make_concentric_baseline() {
+  return std::make_shared<ConcentricSweepProgram>();
+}
+
+std::shared_ptr<traj::Program> make_square_spiral_baseline() {
+  return std::make_shared<SquareSpiralProgram>();
+}
+
+}  // namespace rv::search

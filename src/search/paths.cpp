@@ -1,0 +1,49 @@
+#include "search/paths.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/constants.hpp"
+#include "search/times.hpp"
+
+namespace rv::search {
+
+using geom::Vec2;
+using traj::Path;
+
+Path search_circle_path(double delta) {
+  if (!(delta >= 0.0)) {
+    throw std::invalid_argument("search_circle_path: delta must be >= 0");
+  }
+  Path path;
+  if (delta == 0.0) return path;
+  path.line_to({delta, 0.0});
+  path.arc_around({0.0, 0.0}, rv::mathx::kTwoPi);
+  path.line_to({0.0, 0.0});
+  return path;
+}
+
+Path search_annulus_path(double delta1, double delta2, double rho) {
+  if (!(delta1 >= 0.0) || !(delta2 > delta1) || !(rho > 0.0)) {
+    throw std::invalid_argument("search_annulus_path: invalid parameters");
+  }
+  const double m = std::ceil((delta2 - delta1) / (2.0 * rho));
+  Path path;
+  for (double i = 0.0; i <= m; i += 1.0) {
+    path.extend(search_circle_path(delta1 + 2.0 * i * rho));
+  }
+  return path;
+}
+
+Path search_round_path(int k) {
+  if (k < 1) throw std::invalid_argument("search_round_path: k must be >= 1");
+  Path path;
+  for (int j = 0; j <= 2 * k - 1; ++j) {
+    const SubRound sr = sub_round(k, j);
+    path.extend(search_annulus_path(sr.inner, sr.outer, sr.rho));
+  }
+  path.wait(search_round_wait(k));
+  return path;
+}
+
+}  // namespace rv::search

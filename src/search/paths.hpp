@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file paths.hpp
+/// Finite-path factories for the paper's search procedures
+/// (Algorithms 1–3).  These produce whole `Path` objects and are used
+/// by tests (duration/coverage assertions) and visualisation; the
+/// simulator-facing generators in `emitter.hpp` produce the same
+/// trajectories segment by segment in O(1) memory.
+
+#include "traj/path.hpp"
+
+namespace rv::search {
+
+/// Algorithm 1 — SearchCircle(δ): move along the +x axis to radius δ,
+/// traverse the circle CCW, return to the origin.  δ ≥ 0 (δ = 0 yields
+/// an empty round trip).
+[[nodiscard]] traj::Path search_circle_path(double delta);
+
+/// Algorithm 2 — SearchAnnulus(δ1, δ2, ρ): SearchCircle(δ1 + 2iρ) for
+/// i = 0..⌈(δ2−δ1)/(2ρ)⌉.
+/// \throws std::invalid_argument unless 0 ≤ δ1 < δ2 and ρ > 0.
+[[nodiscard]] traj::Path search_annulus_path(double delta1, double delta2,
+                                             double rho);
+
+/// Algorithm 3 — Search(k): the 2k sub-round annuli plus the final
+/// wait of 3(π+1)(2ᵏ + 2⁻ᵏ).
+/// \warning the path has Θ(4ᵏ) segments; intended for small k (≤ 8).
+[[nodiscard]] traj::Path search_round_path(int k);
+
+}  // namespace rv::search

@@ -1,0 +1,104 @@
+#include "search/times.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/binary.hpp"
+#include "mathx/constants.hpp"
+
+namespace rv::search {
+
+using rv::mathx::pow2;
+
+SubRound sub_round(int k, int j) {
+  if (k < 1) throw std::invalid_argument("sub_round: k must be >= 1");
+  if (j < 0 || j > 2 * k - 1) {
+    throw std::invalid_argument("sub_round: j must be in [0, 2k-1]");
+  }
+  SubRound sr;
+  sr.k = k;
+  sr.j = j;
+  sr.inner = pow2(-k + j);
+  sr.outer = pow2(-k + j + 1);
+  sr.rho = pow2(-3 * k + 2 * j - 1);
+  // m = ⌈(outer − inner)/(2ρ)⌉ = 2^{2k−j} exactly (paper, proof of
+  // Lemma 2); the number of circles is m + 1 (i = 0..m).
+  sr.circles = (1LL << (2 * k - j)) + 1;
+  return sr;
+}
+
+double time_search_circle(double delta) {
+  if (!(delta >= 0.0)) {
+    throw std::invalid_argument("time_search_circle: delta must be >= 0");
+  }
+  return rv::mathx::kSearchCircleFactor * delta;
+}
+
+double time_search_annulus(double delta1, double delta2, double rho) {
+  if (!(delta1 >= 0.0) || !(delta2 > delta1) || !(rho > 0.0)) {
+    throw std::invalid_argument("time_search_annulus: invalid parameters");
+  }
+  const double m = std::ceil((delta2 - delta1) / (2.0 * rho));
+  return rv::mathx::kSearchCircleFactor * (1.0 + m) * (delta1 + rho * m);
+}
+
+double search_round_wait(int k) {
+  if (k < 1) throw std::invalid_argument("search_round_wait: k must be >= 1");
+  return rv::mathx::kThreePiPlus1 * (pow2(k) + pow2(-k));
+}
+
+double time_search_round(int k) {
+  if (k < 1) throw std::invalid_argument("time_search_round: k must be >= 1");
+  return rv::mathx::kThreePiPlus1 * (k + 1) * pow2(k + 1);
+}
+
+double time_first_rounds(int k) {
+  if (k < 0) throw std::invalid_argument("time_first_rounds: k must be >= 0");
+  if (k == 0) return 0.0;
+  return rv::mathx::kThreePiPlus1 * k * pow2(k + 2);
+}
+
+double theorem1_bound(double d, double r) {
+  if (!(d > 0.0) || !(r > 0.0)) {
+    throw std::invalid_argument("theorem1_bound: need d, r > 0");
+  }
+  const double ratio = d * d / r;
+  return rv::mathx::kTheorem1Factor * std::log2(ratio) * ratio;
+}
+
+bool theorem1_bound_applicable(double d, double r) {
+  if (!(d > 0.0) || !(r > 0.0)) {
+    throw std::invalid_argument("theorem1_bound_applicable: need d, r > 0");
+  }
+  const double ratio = d * d / r;
+  if (ratio < 2.0) return false;  // k = ⌊log₂ ratio⌋ must be ≥ 1
+  const int k = rv::mathx::floor_log2(ratio);
+  const int j = rv::mathx::floor_log2(d) + k;
+  if (j < 0 || j > 2 * k - 1) return false;
+  // Verify the Lemma 1 constraints directly.
+  return pow2(-k + j + 1) >= d && pow2(-3 * k + 2 * j - 1) <= r;
+}
+
+int guaranteed_round(double d, double r) {
+  if (!(d > 0.0) || !(r > 0.0)) {
+    throw std::invalid_argument("guaranteed_round: need d, r > 0");
+  }
+  // Smallest k whose Search(k) pass provably covers (d, r): some
+  // sub-round j must search out to radius ≥ d with granularity ≤ r.
+  for (int k = 1; k <= 128; ++k) {
+    for (int j = 0; j <= 2 * k - 1; ++j) {
+      if (pow2(-k + j + 1) >= d && pow2(-3 * k + 2 * j - 1) <= r) {
+        return k;
+      }
+    }
+  }
+  throw std::invalid_argument(
+      "guaranteed_round: (d, r) out of supported range (need k <= 128)");
+}
+
+double lemma3_lower_bound(int k) {
+  if (k < 1) throw std::invalid_argument("lemma3_lower_bound: k must be >= 1");
+  return pow2(k + 1);
+}
+
+}  // namespace rv::search

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file times.hpp
+/// Closed-form running times and bounds for the search algorithms —
+/// the algebra of Lemma 2, Lemma 3 and Theorem 1, kept next to the
+/// trajectory generators so tests can assert that the emitted
+/// trajectories take *exactly* the time the paper computes.
+
+namespace rv::search {
+
+/// Geometry of sub-round j of Search(k) (Algorithm 3): the annulus
+/// [inner, outer] searched with granularity rho.
+struct SubRound {
+  int k = 1;
+  int j = 0;
+  double inner = 0.0;   ///< δ_{j,k} = 2^{−k+j}
+  double outer = 0.0;   ///< δ_{j,k+1} = 2^{−k+j+1}
+  double rho = 0.0;     ///< ρ_{j,k} = 2^{−3k+2j−1}
+  long long circles = 0;  ///< m+1 with m = ⌈(outer−inner)/(2ρ)⌉ = 2^{2k−j}
+};
+
+/// Parameters of sub-round (k, j).  \throws std::invalid_argument for
+/// k < 1 or j outside [0, 2k−1].
+[[nodiscard]] SubRound sub_round(int k, int j);
+
+/// Time of SearchCircle(δ) = 2(π+1)·δ (Lemma 2).
+[[nodiscard]] double time_search_circle(double delta);
+
+/// Time of SearchAnnulus(δ1, δ2, ρ) = 2(π+1)(1+m)(δ1+ρm) with
+/// m = ⌈(δ2−δ1)/(2ρ)⌉ (Lemma 2).
+[[nodiscard]] double time_search_annulus(double delta1, double delta2,
+                                         double rho);
+
+/// The wait appended at the end of Search(k): 3(π+1)(2ᵏ + 2⁻ᵏ).
+[[nodiscard]] double search_round_wait(int k);
+
+/// Time of Search(k) = 3(π+1)(k+1)·2^{k+1} (Lemma 2).
+[[nodiscard]] double time_search_round(int k);
+
+/// Time of the first k rounds of Algorithm 4 = 3(π+1)·k·2^{k+2}
+/// (Lemma 2).  Equals S(k) of Equation (1): 12(π+1)·k·2ᵏ.
+[[nodiscard]] double time_first_rounds(int k);
+
+/// Theorem 1 bound: 6(π+1)·log₂(d²/r)·(d²/r).
+/// \throws std::invalid_argument unless d, r > 0.
+[[nodiscard]] double theorem1_bound(double d, double r);
+
+/// Whether the Theorem 1 bound applies to the instance (d, r).
+///
+/// The proof of Lemma 1 exhibits the round/sub-round pair
+/// k = ⌊log₂(d²/r)⌋, j = ⌊log₂ d⌋ + k, which requires j ∈ [0, 2k−1] —
+/// implicitly assuming d is not too small relative to the ratio d²/r
+/// (e.g. it always holds for d ≥ 1, r ≤ d²/4).  Outside this regime the
+/// target *is* still found (Algorithm 4 is complete — see
+/// `guaranteed_round`), but the closed-form bound can undershoot the
+/// actual time of the guaranteed round.  Benches/tests check the bound
+/// only on applicable instances and the unconditional guarantee
+/// `time ≤ time_first_rounds(guaranteed_round(d, r))` everywhere.
+[[nodiscard]] bool theorem1_bound_applicable(double d, double r);
+
+/// The round of Algorithm 4 on which the target is guaranteed found
+/// (Lemma 1): the smallest k admitting a valid sub-round j with
+/// 2^{−k+j+1} ≥ d and 2^{−3k+2j−1} ≤ r.
+/// \throws std::invalid_argument unless d, r > 0.
+[[nodiscard]] int guaranteed_round(double d, double r);
+
+/// Lemma 3: if the target is found on round k then d²/r ≥ 2^{k+1};
+/// returns that lower bound.
+[[nodiscard]] double lemma3_lower_bound(int k);
+
+}  // namespace rv::search

@@ -1,0 +1,160 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace rv::sim {
+
+using geom::Vec2;
+using traj::TimedSegment;
+
+namespace {
+void validate_options(const SimOptions& o) {
+  if (!(o.visibility > 0.0)) {
+    throw std::invalid_argument("SimOptions: visibility must be > 0");
+  }
+  if (!(o.max_time > 0.0)) {
+    throw std::invalid_argument("SimOptions: max_time must be > 0");
+  }
+  if (!(o.contact_tol >= 0.0) || !(o.time_tol > 0.0) || !(o.min_step > 0.0)) {
+    throw std::invalid_argument("SimOptions: bad tolerances");
+  }
+}
+}  // namespace
+
+TwoRobotSimulator::TwoRobotSimulator(RobotSpec robot1, RobotSpec robot2,
+                                     SimOptions options)
+    : stream1_(std::move(robot1.program), robot1.attributes, robot1.origin),
+      stream2_(std::move(robot2.program), robot2.attributes, robot2.origin),
+      opts_(options) {
+  validate_options(opts_);
+}
+
+SimResult TwoRobotSimulator::run() {
+  SimResult res;
+  res.min_distance = std::numeric_limits<double>::infinity();
+
+  TimedSegment seg1 = stream1_.next();
+  TimedSegment seg2 = stream2_.next();
+  res.segments += 2;
+
+  double t = 0.0;
+  const double r = opts_.visibility;
+
+  auto separation = [&](double at) {
+    ++res.evals;
+    return geom::distance(seg1.position(at), seg2.position(at));
+  };
+
+  auto note_min = [&res](double d, double at) {
+    if (d < res.min_distance) {
+      res.min_distance = d;
+      res.min_distance_time = at;
+    }
+  };
+
+  double prev_t = 0.0;   // last evaluated time with separation > r
+  bool have_prev = false;
+
+  while (t < opts_.max_time && res.evals < opts_.max_evals) {
+    // Pull segments forward so both cover time t.
+    while (seg1.t1 <= t) {
+      seg1 = stream1_.next();
+      ++res.segments;
+    }
+    while (seg2.t1 <= t) {
+      seg2 = stream2_.next();
+      ++res.segments;
+    }
+    const double window_end =
+        std::min({seg1.t1, seg2.t1, opts_.max_time});
+
+    const double d = separation(t);
+    note_min(d, t);
+
+    if (d <= r + opts_.contact_tol) {
+      // Contact (or a graze within tolerance).  If we are strictly
+      // inside the disk and have a previous outside point, bisect for
+      // the first crossing.
+      double contact_time = t;
+      if (d < r && have_prev) {
+        double lo = prev_t, hi = t;
+        while (hi - lo > opts_.time_tol) {
+          const double mid = 0.5 * (lo + hi);
+          const double dm = separation(mid);
+          if (dm <= r) {
+            hi = mid;
+          } else {
+            lo = mid;
+          }
+        }
+        contact_time = hi;
+      }
+      res.met = true;
+      res.time = contact_time;
+      res.position1 = seg1.position(contact_time);
+      res.position2 = seg2.position(contact_time);
+      res.distance = geom::distance(res.position1, res.position2);
+      return res;
+    }
+
+    prev_t = t;
+    have_prev = true;
+
+    // Certified advance: the separation is Lipschitz with constant
+    // L = v1 + v2 on this window, so it cannot reach r before
+    // t + (d − r)/L.
+    const double speed_sum = seg1.speed() + seg2.speed();
+    double step;
+    if (speed_sum <= 0.0) {
+      // Both stationary: separation constant until the window ends.
+      step = window_end - t;
+      if (step <= 0.0) step = opts_.min_step;
+    } else {
+      step = (d - r) / speed_sum;
+    }
+    step = std::max(step, opts_.min_step);
+    const double next_t = std::min(t + step, window_end);
+    // Always make progress even at window boundaries.
+    t = (next_t > t) ? next_t : t + opts_.min_step;
+  }
+
+  // Horizon or eval budget reached without contact.
+  res.met = false;
+  res.time = std::min(t, opts_.max_time);
+  res.position1 = seg1.position(res.time);
+  res.position2 = seg2.position(res.time);
+  res.distance = geom::distance(res.position1, res.position2);
+  return res;
+}
+
+SimResult simulate_search(std::shared_ptr<traj::Program> program,
+                          const Vec2& target, const SimOptions& options,
+                          const geom::RobotAttributes& attrs) {
+  RobotSpec searcher{std::move(program), attrs, {0.0, 0.0}};
+  RobotSpec stationary{std::make_shared<traj::StationaryProgram>(),
+                       geom::reference_attributes(), target};
+  TwoRobotSimulator sim(std::move(searcher), std::move(stationary), options);
+  return sim.run();
+}
+
+SimResult simulate_rendezvous(
+    const std::function<std::shared_ptr<traj::Program>()>& program_factory,
+    const geom::RobotAttributes& attrs2, const Vec2& initial_offset,
+    const SimOptions& options) {
+  if (!program_factory) {
+    throw std::invalid_argument("simulate_rendezvous: null factory");
+  }
+  RobotSpec r1{program_factory(), geom::reference_attributes(), {0.0, 0.0}};
+  RobotSpec r2{program_factory(), attrs2, initial_offset};
+  if (!r1.program || !r2.program) {
+    throw std::invalid_argument("simulate_rendezvous: factory returned null");
+  }
+  TwoRobotSimulator sim(std::move(r1), std::move(r2), options);
+  return sim.run();
+}
+
+}  // namespace rv::sim

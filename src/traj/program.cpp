@@ -1,0 +1,98 @@
+#include "traj/program.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace rv::traj {
+
+using geom::Vec2;
+
+void MarkRecorder::record(double local_time, std::string label) {
+  marks_.push_back(Mark{local_time, std::move(label)});
+}
+
+const Mark* MarkRecorder::find(const std::string& label) const {
+  for (const Mark& m : marks_) {
+    if (m.label == label) return &m;
+  }
+  return nullptr;
+}
+
+StationaryProgram::StationaryProgram(double chunk) : chunk_(chunk) {
+  if (!(chunk > 0.0)) {
+    throw std::invalid_argument("StationaryProgram: chunk must be > 0");
+  }
+}
+
+Segment StationaryProgram::next() { return WaitSeg{{0.0, 0.0}, chunk_}; }
+
+PathProgram::PathProgram(Path path, std::string name, double tail_chunk)
+    : path_(std::move(path)), name_(std::move(name)), tail_chunk_(tail_chunk) {
+  if (!(tail_chunk > 0.0)) {
+    throw std::invalid_argument("PathProgram: tail_chunk must be > 0");
+  }
+  if (!path_.empty() && !geom::approx_equal(path_.start(), Vec2{})) {
+    throw std::invalid_argument("PathProgram: path must start at the origin");
+  }
+}
+
+Segment PathProgram::next() {
+  if (index_ < path_.size()) {
+    return path_.segments()[index_++];
+  }
+  return WaitSeg{path_.end(), tail_chunk_};
+}
+
+RoundProgram::RoundProgram(RoundFn fn, std::string name)
+    : fn_(std::move(fn)), name_(std::move(name)) {
+  if (!fn_) throw std::invalid_argument("RoundProgram: null round function");
+}
+
+void RoundProgram::refill() {
+  while (index_ >= buffer_.size()) {
+    ++round_;
+    Path path = fn_(round_, cursor_);
+    if (!geom::approx_equal(path.start(), cursor_, 1e-6)) {
+      throw std::logic_error("RoundProgram: round path does not start at cursor");
+    }
+    buffer_.assign(path.segments().begin(), path.segments().end());
+    index_ = 0;
+    cursor_ = path.end();
+    // A round may legitimately be empty only if the next one is not;
+    // loop guards against zero-segment rounds.
+  }
+}
+
+Segment RoundProgram::next() {
+  refill();
+  return buffer_[index_++];
+}
+
+BufferedTrajectory::BufferedTrajectory(std::shared_ptr<Program> program)
+    : program_(std::move(program)) {
+  if (!program_) {
+    throw std::invalid_argument("BufferedTrajectory: null program");
+  }
+}
+
+void BufferedTrajectory::ensure(double t) {
+  while (total_ < t) {
+    Segment seg = program_->next();
+    starts_.push_back(total_);
+    total_ += duration(seg);
+    segments_.push_back(std::move(seg));
+  }
+}
+
+Vec2 BufferedTrajectory::position_at(double t) {
+  if (t < 0.0) t = 0.0;
+  ensure(t);
+  if (segments_.empty()) return {};
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), t);
+  const std::size_t idx =
+      static_cast<std::size_t>(std::distance(starts_.begin(), it)) - 1;
+  return traj::position_at(segments_[idx], t - starts_[idx]);
+}
+
+}  // namespace rv::traj

@@ -1,0 +1,186 @@
+#include "viz/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace rv::viz {
+
+using geom::Vec2;
+
+namespace {
+
+struct Axis {
+  double lo = 0.0, hi = 1.0;
+  bool log = false;
+
+  double map01(double v) const {
+    if (log) {
+      return (std::log10(v) - std::log10(lo)) /
+             (std::log10(hi) - std::log10(lo));
+    }
+    return (v - lo) / (hi - lo);
+  }
+
+  /// Tick positions: decades for log axes, ~6 round steps otherwise.
+  std::vector<double> ticks() const {
+    std::vector<double> out;
+    if (log) {
+      const int d0 = static_cast<int>(std::ceil(std::log10(lo) - 1e-12));
+      const int d1 = static_cast<int>(std::floor(std::log10(hi) + 1e-12));
+      for (int d = d0; d <= d1; ++d) out.push_back(std::pow(10.0, d));
+      if (out.empty()) out = {lo, hi};
+      return out;
+    }
+    const double span = hi - lo;
+    const double raw = span / 6.0;
+    const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+    double step = mag;
+    if (raw / mag > 5.0) {
+      step = 5.0 * mag;
+    } else if (raw / mag > 2.0) {
+      step = 2.0 * mag;
+    }
+    for (double v = std::ceil(lo / step) * step; v <= hi + 1e-12; v += step) {
+      out.push_back(v);
+    }
+    return out;
+  }
+};
+
+std::string tick_label(double v) {
+  std::ostringstream os;
+  if (v != 0.0 && (std::abs(v) >= 1e5 || std::abs(v) < 1e-3)) {
+    os.precision(0);
+    os << std::scientific << v;
+  } else {
+    os.precision(6);
+    os << v;
+  }
+  return os.str();
+}
+
+bool drawable(double x, double y, const ChartOptions& o) {
+  if (!std::isfinite(x) || !std::isfinite(y)) return false;
+  if (o.log_x && x <= 0.0) return false;
+  if (o.log_y && y <= 0.0) return false;
+  return true;
+}
+
+}  // namespace
+
+SvgCanvas render_chart(const std::vector<ChartSeries>& series,
+                       const ChartOptions& options) {
+  // Collect the drawable range.
+  double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+  bool any = false;
+  for (const ChartSeries& s : series) {
+    if (s.x.size() != s.y.size()) {
+      throw std::invalid_argument("render_chart: x/y size mismatch");
+    }
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!drawable(s.x[i], s.y[i], options)) continue;
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+      any = true;
+    }
+  }
+  if (!any) throw std::invalid_argument("render_chart: no drawable points");
+  if (xmax <= xmin) xmax = xmin + (options.log_x ? xmin : 1.0);
+  if (ymax <= ymin) ymax = ymin + (options.log_y ? ymin : 1.0);
+  // Pad the y range a little (multiplicatively on log axes).
+  if (options.log_y) {
+    ymin /= 1.3;
+    ymax *= 1.3;
+  } else {
+    const double pad = 0.06 * (ymax - ymin);
+    ymin -= pad;
+    ymax += pad;
+  }
+
+  const Axis ax{xmin, xmax, options.log_x};
+  const Axis ay{ymin, ymax, options.log_y};
+
+  // Layout: margins for labels, plot area in normalised [0,1]².
+  const double kLeft = 0.11, kRight = 0.03, kTop = 0.08, kBottom = 0.10;
+  SvgCanvas canvas({0.0, 0.0},
+                   {1.0, options.height_px / options.width_px},
+                   options.width_px);
+  const double h = options.height_px / options.width_px;
+  auto to_world = [&](double fx, double fy) {
+    return Vec2{kLeft + fx * (1.0 - kLeft - kRight),
+                kBottom * h + fy * (1.0 - kTop - kBottom) * h};
+  };
+
+  // Frame.
+  Style frame;
+  frame.stroke = "#333333";
+  frame.stroke_width = 1.0;
+  canvas.line(to_world(0, 0), to_world(1, 0), frame);
+  canvas.line(to_world(0, 0), to_world(0, 1), frame);
+
+  // Ticks and grid.
+  Style grid;
+  grid.stroke = "#dddddd";
+  grid.stroke_width = 0.6;
+  for (const double t : ax.ticks()) {
+    const double fx = ax.map01(t);
+    if (fx < -1e-9 || fx > 1.0 + 1e-9) continue;
+    canvas.line(to_world(fx, 0), to_world(fx, 1), grid);
+    canvas.text(to_world(fx, 0) - Vec2{0.01, 0.03 * h}, tick_label(t), 10.0,
+                "#333333");
+  }
+  for (const double t : ay.ticks()) {
+    const double fy = ay.map01(t);
+    if (fy < -1e-9 || fy > 1.0 + 1e-9) continue;
+    canvas.line(to_world(0, fy), to_world(1, fy), grid);
+    canvas.text(to_world(0, fy) - Vec2{0.10, 0.0}, tick_label(t), 10.0,
+                "#333333");
+  }
+
+  // Series.
+  double legend_y = 0.97;
+  for (const ChartSeries& s : series) {
+    // Sort by x for the connecting line.
+    std::vector<std::size_t> order(s.x.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&s](std::size_t a, std::size_t b) { return s.x[a] < s.x[b]; });
+    std::vector<Vec2> pts;
+    for (const std::size_t i : order) {
+      if (!drawable(s.x[i], s.y[i], options)) continue;
+      pts.push_back(to_world(ax.map01(s.x[i]), ay.map01(s.y[i])));
+    }
+    if (s.draw_line && pts.size() >= 2) {
+      Style line;
+      line.stroke = s.color;
+      line.stroke_width = 1.6;
+      canvas.polyline(pts, line);
+    }
+    if (s.draw_markers) {
+      for (const Vec2& p : pts) canvas.marker(p, s.color, 3.0);
+    }
+    if (!s.label.empty()) {
+      canvas.text(to_world(0.03, legend_y), s.label, 12.0, s.color);
+      legend_y -= 0.055;
+    }
+  }
+
+  // Labels and title.
+  if (!options.title.empty()) {
+    canvas.text(to_world(0.3, 1.04), options.title, 14.0, "#000000");
+  }
+  if (!options.x_label.empty()) {
+    canvas.text(to_world(0.45, -0.09), options.x_label, 12.0, "#000000");
+  }
+  if (!options.y_label.empty()) {
+    canvas.text(to_world(-0.1, 1.02), options.y_label, 12.0, "#000000");
+  }
+  return canvas;
+}
+
+}  // namespace rv::viz

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file chart.hpp
+/// Data charts in SVG: scatter/line plots with linear or log axes,
+/// tick marks and legends.  Used by the bench binaries to emit the
+/// measured-vs-bound figures next to their console tables (the ASCII
+/// charts stay for `bench_output.txt`; these are the publication-style
+/// artifacts).
+
+#include <string>
+#include <vector>
+
+#include "viz/svg.hpp"
+
+namespace rv::viz {
+
+/// One plotted series.
+struct ChartSeries {
+  std::vector<double> x;
+  std::vector<double> y;
+  std::string color = "#1f77b4";
+  std::string label;
+  bool draw_line = true;     ///< connect points (sorted by x)
+  bool draw_markers = true;  ///< draw point markers
+};
+
+/// Chart configuration.
+struct ChartOptions {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool log_x = false;
+  bool log_y = false;
+  double width_px = 860.0;
+  double height_px = 520.0;
+};
+
+/// Renders the chart.  Points with non-positive coordinates on a log
+/// axis are skipped.  \throws std::invalid_argument when no drawable
+/// points remain.
+[[nodiscard]] SvgCanvas render_chart(const std::vector<ChartSeries>& series,
+                                     const ChartOptions& options = {});
+
+}  // namespace rv::viz

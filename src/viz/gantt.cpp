@@ -1,0 +1,116 @@
+#include "viz/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rv::viz {
+
+using geom::Vec2;
+
+namespace {
+/// Maps a time to the horizontal axis coordinate; optionally log scale.
+struct TimeAxis {
+  double lo, hi;
+  bool log;
+  double map(double t) const {
+    if (log) {
+      const double l0 = std::log10(std::max(lo, 1e-9));
+      const double l1 = std::log10(std::max(hi, lo * 10.0));
+      const double lt = std::log10(std::max(t, 1e-9));
+      return (lt - l0) / (l1 - l0);
+    }
+    return (t - lo) / (hi - lo);
+  }
+};
+}  // namespace
+
+SvgCanvas render_gantt(const std::vector<GanttRow>& rows,
+                       const std::vector<HighlightWindow>& highlights,
+                       const GanttOptions& options) {
+  if (rows.empty()) throw std::invalid_argument("render_gantt: no rows");
+
+  double tmin = options.time_min;
+  double tmax = options.time_max;
+  if (tmax <= tmin) {
+    tmin = 1e300;
+    tmax = -1e300;
+    for (const GanttRow& row : rows) {
+      for (const PhaseInterval& ph : row.phases) {
+        if (ph.end < ph.start) {
+          throw std::invalid_argument("render_gantt: interval end < start");
+        }
+        tmin = std::min(tmin, ph.start);
+        tmax = std::max(tmax, ph.end);
+      }
+    }
+    if (tmax <= tmin) throw std::invalid_argument("render_gantt: empty span");
+  }
+  if (options.log_time && tmin <= 0.0) tmin = std::max(tmin, 1e-3);
+
+  const double n_rows = static_cast<double>(rows.size());
+  const double height_world = n_rows + 1.0;  // one unit per row + axis strip
+  SvgCanvas canvas({0.0, 0.0}, {1.0, height_world / 10.0},
+                   options.width_px);
+  // We do the layout in normalised [0,1] × rows space manually: the
+  // canvas world is [0,1] wide; vertical extent chosen for aspect.
+  const double world_h = height_world / 10.0;
+  const double row_h = world_h / (n_rows + 1.0);
+
+  const TimeAxis axis{tmin, tmax, options.log_time};
+
+  // Highlights first (behind the bars), full column height.
+  for (const HighlightWindow& w : highlights) {
+    const double x0 = std::clamp(axis.map(std::max(w.start, tmin)), 0.0, 1.0);
+    const double x1 = std::clamp(axis.map(std::min(w.end, tmax)), 0.0, 1.0);
+    if (x1 <= x0) continue;
+    Style st;
+    st.stroke = "none";
+    st.fill = w.color;
+    st.opacity = 0.25;
+    canvas.rect({x0, 0.0}, {x1, world_h}, st);
+    if (!w.label.empty()) {
+      canvas.text({x0, world_h - 0.2 * row_h}, w.label, 10.0, w.color);
+    }
+  }
+
+  // Rows: bars per phase.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double y_lo = world_h - row_h * (static_cast<double>(i) + 1.6);
+    const double y_hi = y_lo + 0.7 * row_h;
+    canvas.text({0.005, y_hi + 0.05 * row_h}, rows[i].label, 12.0, "#000000");
+    for (const PhaseInterval& ph : rows[i].phases) {
+      const double s = std::max(ph.start, tmin);
+      const double e = std::min(ph.end, tmax);
+      if (e <= s) continue;
+      const double x0 = std::clamp(axis.map(s), 0.0, 1.0);
+      const double x1 = std::clamp(axis.map(e), 0.0, 1.0);
+      Style st;
+      st.stroke = "#333333";
+      st.stroke_width = 0.5;
+      st.fill = ph.kind == PhaseKind::kActive ? "#1f77b4" : "#c7c7c7";
+      st.opacity = 0.9;
+      canvas.rect({x0, y_lo}, {x1, y_hi}, st);
+    }
+  }
+
+  // Simple decade tick marks on the axis strip.
+  const int lo_decade = static_cast<int>(std::floor(std::log10(std::max(tmin, 1e-9))));
+  const int hi_decade = static_cast<int>(std::ceil(std::log10(std::max(tmax, 1e-9))));
+  if (options.log_time) {
+    for (int d = lo_decade; d <= hi_decade; ++d) {
+      const double t = std::pow(10.0, d);
+      if (t < tmin || t > tmax) continue;
+      const double x = axis.map(t);
+      Style st;
+      st.stroke = "#888888";
+      st.stroke_width = 0.6;
+      st.dash = "2 2";
+      canvas.line({x, 0.0}, {x, world_h}, st);
+      canvas.text({x, 0.015}, "1e" + std::to_string(d), 9.0, "#555555");
+    }
+  }
+  return canvas;
+}
+
+}  // namespace rv::viz

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file gantt.hpp
+/// Phase-schedule (Gantt) charts regenerating the content of the
+/// paper's Figures 1–3: per-robot inactive/active phases of Algorithm 7
+/// on a common global timeline, with overlap windows highlighted.
+
+#include <string>
+#include <vector>
+
+#include "viz/svg.hpp"
+
+namespace rv::viz {
+
+/// Kind of schedule phase.
+enum class PhaseKind { kInactive, kActive };
+
+/// One phase interval on a robot's global timeline.
+struct PhaseInterval {
+  double start = 0.0;
+  double end = 0.0;
+  PhaseKind kind = PhaseKind::kInactive;
+  int round = 0;  ///< Algorithm 7 round number n
+};
+
+/// One row (robot) of the chart.
+struct GanttRow {
+  std::string label;
+  std::vector<PhaseInterval> phases;
+};
+
+/// Extra shaded windows (e.g. the overlap intervals of Lemmas 9/10).
+struct HighlightWindow {
+  double start = 0.0;
+  double end = 0.0;
+  std::string color = "#d62728";
+  std::string label;
+};
+
+/// Options for chart rendering.
+struct GanttOptions {
+  double width_px = 1000.0;
+  double row_height_px = 42.0;
+  bool log_time = true;  ///< log-scale time axis (schedule grows as 2ⁿ)
+  double time_min = 0.0; ///< clip window (0 = auto)
+  double time_max = 0.0; ///< clip window (0 = auto)
+};
+
+/// Renders the chart.  Throws std::invalid_argument when rows are empty
+/// or intervals are malformed.
+[[nodiscard]] SvgCanvas render_gantt(const std::vector<GanttRow>& rows,
+                                     const std::vector<HighlightWindow>& highlights,
+                                     const GanttOptions& options = {});
+
+}  // namespace rv::viz

@@ -1,0 +1,86 @@
+#include "viz/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/binary.hpp"
+#include "traj/sampler.hpp"
+
+namespace rv::viz {
+
+using geom::Vec2;
+
+SvgCanvas plot_trajectories(const std::vector<TrajectorySeries>& series,
+                            const PlotOptions& options) {
+  Vec2 lo{0.0, 0.0};
+  Vec2 hi{0.0, 0.0};
+  bool first = true;
+  for (const TrajectorySeries& s : series) {
+    for (const Vec2& p : s.points) {
+      if (first) {
+        lo = hi = p;
+        first = false;
+      } else {
+        lo.x = std::min(lo.x, p.x);
+        lo.y = std::min(lo.y, p.y);
+        hi.x = std::max(hi.x, p.x);
+        hi.y = std::max(hi.y, p.y);
+      }
+    }
+  }
+  if (first) throw std::invalid_argument("plot_trajectories: no points");
+  // Pad and guard against degenerate (collinear) windows.
+  const double span = std::max({hi.x - lo.x, hi.y - lo.y, 1e-6});
+  const double pad = span * options.margin_frac + 1e-9;
+  lo -= Vec2{pad, pad};
+  hi += Vec2{pad, pad};
+  // Keep the window square so circles look like circles.
+  const double cx = 0.5 * (lo.x + hi.x);
+  const double cy = 0.5 * (lo.y + hi.y);
+  const double half = 0.5 * std::max(hi.x - lo.x, hi.y - lo.y);
+  lo = {cx - half, cy - half};
+  hi = {cx + half, cy + half};
+
+  SvgCanvas canvas(lo, hi, options.width_px);
+  double label_y = hi.y - 0.04 * (hi.y - lo.y);
+  for (const TrajectorySeries& s : series) {
+    Style st;
+    st.stroke = s.color;
+    st.stroke_width = 1.2;
+    canvas.polyline(s.points, st);
+    if (!s.label.empty()) {
+      canvas.text({lo.x + 0.02 * (hi.x - lo.x), label_y}, s.label, 13.0,
+                  s.color);
+      label_y -= 0.04 * (hi.y - lo.y);
+    }
+  }
+  if (options.draw_origin_marker) canvas.marker({0.0, 0.0}, "#000000");
+  return canvas;
+}
+
+TrajectorySeries series_from_path(const traj::Path& path,
+                                  const std::string& color,
+                                  const std::string& label,
+                                  double flatten_error) {
+  TrajectorySeries s;
+  s.points = traj::flatten_path(path, flatten_error);
+  s.color = color;
+  s.label = label;
+  return s;
+}
+
+void draw_search_annuli(SvgCanvas& canvas, int k, const std::string& color) {
+  if (k < 1) throw std::invalid_argument("draw_search_annuli: k < 1");
+  Style st;
+  st.stroke = color;
+  st.stroke_width = 0.8;
+  for (int j = 0; j <= 2 * k - 1; ++j) {
+    const double inner = rv::mathx::pow2(-k + j);
+    const double outer = rv::mathx::pow2(-k + j + 1);
+    canvas.circle({0.0, 0.0}, inner, st);
+    canvas.circle({0.0, 0.0}, outer, st);
+  }
+}
+
+}  // namespace rv::viz

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file plot.hpp
+/// Trajectory plotting: renders robot paths, visibility disks and the
+/// annulus structure of the paper's search algorithm into SVG files.
+
+#include <string>
+#include <vector>
+
+#include "traj/path.hpp"
+#include "viz/svg.hpp"
+
+namespace rv::viz {
+
+/// One trajectory to draw.
+struct TrajectorySeries {
+  std::vector<geom::Vec2> points;  ///< pre-flattened polyline
+  std::string color = "#1f77b4";
+  std::string label;
+};
+
+/// Configuration for a trajectory plot.
+struct PlotOptions {
+  double width_px = 900.0;
+  double margin_frac = 0.07;      ///< world-window padding fraction
+  double flatten_error = 1e-3;    ///< arc flattening tolerance (world units)
+  bool draw_origin_marker = true;
+};
+
+/// Builds a trajectory plot for several series; the world window is the
+/// bounding box of all points plus margin.
+[[nodiscard]] SvgCanvas plot_trajectories(
+    const std::vector<TrajectorySeries>& series, const PlotOptions& options = {});
+
+/// Convenience: flattens a Path into a series.
+[[nodiscard]] TrajectorySeries series_from_path(const traj::Path& path,
+                                                const std::string& color,
+                                                const std::string& label,
+                                                double flatten_error = 1e-3);
+
+/// Draws the annulus decomposition of Search(k) (Algorithm 3): the
+/// 2k−1... (2k) annuli with inner/outer radii 2^{−k+j}, 2^{−k+j+1}.
+void draw_search_annuli(SvgCanvas& canvas, int k,
+                        const std::string& color = "#dddddd");
+
+}  // namespace rv::viz

@@ -1,0 +1,160 @@
+// Tests for the coverage-accounting module: grid marking, disk
+// fractions, the measured sweep of known trajectories, and the area
+// budget.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/coverage.hpp"
+#include "mathx/binary.hpp"
+#include "mathx/constants.hpp"
+#include "search/algorithm4.hpp"
+#include "search/paths.hpp"
+#include "search/times.hpp"
+#include "traj/path.hpp"
+#include "traj/program.hpp"
+
+namespace {
+
+using namespace rv::analysis;
+using rv::geom::Vec2;
+
+TEST(CoverageGrid, ValidationAndGeometry) {
+  EXPECT_THROW(CoverageGrid(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(CoverageGrid(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(CoverageGrid(100.0, 0.01), std::invalid_argument);  // too fine
+  const CoverageGrid grid(1.0, 0.1);
+  EXPECT_EQ(grid.side(), 20);
+  EXPECT_EQ(grid.marked_cells(), 0u);
+}
+
+TEST(CoverageGrid, MarkDiskCountsApproximateArea) {
+  CoverageGrid grid(2.0, 0.02);
+  grid.mark_disk({0.0, 0.0}, 1.0);
+  // Marked area ≈ π·1² within a few percent at this resolution.
+  EXPECT_NEAR(grid.covered_area(), rv::mathx::kPi, 0.05);
+  // The unit disk itself is fully covered.
+  EXPECT_NEAR(grid.covered_fraction_of_disk(0.99), 1.0, 1e-12);
+  // The radius-2 disk is roughly a quarter covered (area ratio 1/4).
+  EXPECT_NEAR(grid.covered_fraction_of_disk(2.0), 0.25, 0.02);
+}
+
+TEST(CoverageGrid, MarksAreIdempotent) {
+  CoverageGrid grid(1.0, 0.05);
+  grid.mark_disk({0.2, 0.1}, 0.3);
+  const auto first = grid.marked_cells();
+  grid.mark_disk({0.2, 0.1}, 0.3);
+  EXPECT_EQ(grid.marked_cells(), first);
+}
+
+TEST(CoverageGrid, OutOfWindowMarksClip) {
+  CoverageGrid grid(1.0, 0.1);
+  grid.mark_disk({10.0, 10.0}, 0.5);  // fully outside
+  EXPECT_EQ(grid.marked_cells(), 0u);
+  grid.mark_disk({1.0, 0.0}, 0.3);  // straddles the boundary
+  EXPECT_GT(grid.marked_cells(), 0u);
+}
+
+TEST(MeasureCoverage, SingleCirclePassCoversAnnulusBand) {
+  // SearchCircle(1) with visibility 0.2 covers the band [0.8, 1.2]
+  // plus the spoke along +x.  The fraction of the radius-2 disk is
+  // the band area (π(1.2²−0.8²) = 0.8π) plus a thin spoke, over 4π.
+  rv::traj::Path circle = rv::search::search_circle_path(1.0);
+  CoverageOptions opts;
+  opts.visibility = 0.2;
+  opts.disk_radius = 2.0;
+  opts.cell = 0.02;
+  opts.horizon = circle.duration();
+  opts.checkpoints = 4;
+  const auto series = measure_coverage(
+      std::make_shared<rv::traj::PathProgram>(circle, "circle"),
+      rv::geom::reference_attributes(), opts);
+  ASSERT_EQ(series.size(), 4u);
+  // Band fraction 0.2 plus the swept spoke along +x (~0.03).
+  EXPECT_GE(series.back().fraction, 0.19);
+  EXPECT_LE(series.back().fraction, 0.28);
+  // Coverage is monotone in time.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].fraction, series[i - 1].fraction - 1e-12);
+  }
+}
+
+TEST(MeasureCoverage, Algorithm4CoversTargetBandByGuaranteedRound) {
+  // The guaranteed round covers the *distance band* of the target —
+  // round k's innermost circle sits at 2^{−k}, so the deep interior is
+  // only reached by later rounds.  Measured: by the end of the
+  // guaranteed round for (d, r) the coverage of the radius-d disk is
+  // high but not total (interior hole of radius ~2^{−k} − r remains).
+  const double d = 1.0, r = 0.125;
+  const int k = rv::search::guaranteed_round(d, r);  // k = 1 here
+  CoverageOptions opts;
+  opts.visibility = r;
+  opts.disk_radius = d;
+  opts.cell = 0.02;
+  opts.horizon = rv::search::time_first_rounds(k);
+  opts.checkpoints = 8;
+  const auto series =
+      measure_coverage(rv::search::make_search_program(),
+                       rv::geom::reference_attributes(), opts);
+  // Band [2^{−k}, d] covered; interior hole ≈ π(2^{−k} − r)²/πd².
+  const double hole = std::pow(rv::mathx::pow2(-k) - r, 2.0) / (d * d);
+  EXPECT_GE(series.back().fraction, 1.0 - hole - 0.05);
+  EXPECT_LT(series.back().fraction, 1.0);  // the hole is real
+}
+
+TEST(MeasureCoverage, Algorithm4FullyCoversDiskOncePowersReachVisibility) {
+  // Full-disk coverage needs the round k_full with 2^{−k} ≤ r (the
+  // innermost circle passes within r of the origin) *and* band
+  // granularity ≤ r out to d.  For d = 1, r = 0.125 that is k = 3.
+  const double d = 1.0, r = 0.125;
+  const int k_full = 3;
+  CoverageOptions opts;
+  opts.visibility = r;
+  opts.disk_radius = d;
+  opts.cell = 0.02;
+  opts.horizon = rv::search::time_first_rounds(k_full);
+  opts.checkpoints = 6;
+  const auto series =
+      measure_coverage(rv::search::make_search_program(),
+                       rv::geom::reference_attributes(), opts);
+  EXPECT_GE(series.back().fraction, 0.999);
+}
+
+TEST(MeasureCoverage, RespectsAreaBudget) {
+  // No trajectory can cover area faster than 2r per unit time (plus
+  // the initial disk πr²).  Check the invariant on Algorithm 4's
+  // measured sweep.
+  const double r = 0.15;
+  CoverageOptions opts;
+  opts.visibility = r;
+  opts.disk_radius = 1.5;
+  opts.cell = 0.02;
+  opts.horizon = 300.0;
+  opts.checkpoints = 16;
+  const auto series =
+      measure_coverage(rv::search::make_search_program(),
+                       rv::geom::reference_attributes(), opts);
+  for (const auto& pt : series) {
+    EXPECT_LE(pt.covered_area,
+              2.0 * r * pt.time + rv::mathx::kPi * r * r + 0.05)
+        << "t=" << pt.time;
+  }
+}
+
+TEST(AreaBudget, ClosedFormAndGuards) {
+  EXPECT_NEAR(area_budget_time(2.0, 0.1), rv::mathx::kPi * 4.0 / 0.2, 1e-12);
+  EXPECT_THROW((void)area_budget_time(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)area_budget_time(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(MeasureCoverage, OptionValidation) {
+  CoverageOptions bad;
+  bad.horizon = 0.0;
+  EXPECT_THROW((void)measure_coverage(rv::search::make_search_program(),
+                                      rv::geom::reference_attributes(), bad),
+               std::invalid_argument);
+}
+
+}  // namespace

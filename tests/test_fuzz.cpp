@@ -1,0 +1,192 @@
+// Randomised differential tests ("fuzz"): the certified Lipschitz
+// sweep of the simulator is cross-checked against an independent
+// dense-sampling + Brent oracle on randomly generated piecewise
+// trajectories, and the frame map is cross-checked against direct
+// matrix evaluation on random programs.  Any disagreement is a bug in
+// one of the two independent implementations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "mathx/constants.hpp"
+#include "mathx/rng.hpp"
+#include "mathx/roots.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "traj/path.hpp"
+#include "traj/program.hpp"
+
+namespace {
+
+using rv::geom::RobotAttributes;
+using rv::geom::Vec2;
+using rv::mathx::Xoshiro256;
+using rv::traj::Path;
+using rv::traj::PathProgram;
+
+/// Random continuous path with `segments` pieces: lines, arcs and
+/// waits with bounded extents.
+Path random_path(Xoshiro256& rng, int segments) {
+  Path path;
+  for (int i = 0; i < segments; ++i) {
+    const auto kind = rng.uniform_int(0, 2);
+    if (kind == 0) {
+      path.line_to(path.end() +
+                   Vec2{rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)});
+    } else if (kind == 1) {
+      // Arc around a centre offset from the current end point.
+      const Vec2 centre =
+          path.end() + rv::geom::polar(rng.uniform(0.3, 2.0), rng.angle());
+      path.arc_around(centre, rng.uniform(-1.5, 1.5) * rv::mathx::kPi);
+    } else {
+      path.wait(rng.uniform(0.1, 1.0));
+    }
+  }
+  return path;
+}
+
+/// Independent oracle: separation of the two traces as a dense time
+/// function, first crossing of r found by scan + Brent.
+double oracle_first_contact(const rv::sim::GlobalTrace& t1,
+                            const rv::sim::GlobalTrace& t2, double r,
+                            double horizon) {
+  auto sep = [&](double t) {
+    return rv::geom::distance(t1.position_at(t), t2.position_at(t)) - r;
+  };
+  if (sep(0.0) <= 0.0) return 0.0;
+  // Scan resolution well below any segment length used by the fuzzer.
+  const auto crossing = rv::mathx::first_crossing(sep, 0.0, horizon, 20000);
+  return crossing ? crossing->x : -1.0;
+}
+
+TEST(FuzzSimulator, AgreesWithDenseOracleOnRandomTrajectories) {
+  Xoshiro256 rng(20240612);
+  int contacts = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Path p1 = random_path(rng, 8);
+    const Path p2 = random_path(rng, 8);
+    RobotAttributes a2;
+    a2.speed = rng.uniform(0.5, 2.0);
+    const Vec2 origin2{rng.uniform(2.0, 6.0), rng.uniform(-2.0, 2.0)};
+    const double r = rng.uniform(0.2, 1.0);
+    const double horizon = 30.0;
+
+    rv::sim::RobotSpec s1{std::make_shared<PathProgram>(p1, "fuzz1"),
+                          RobotAttributes{}, Vec2{0.0, 0.0}};
+    rv::sim::RobotSpec s2{std::make_shared<PathProgram>(p2, "fuzz2"), a2,
+                          origin2};
+    rv::sim::SimOptions opts;
+    opts.visibility = r;
+    opts.max_time = horizon;
+    rv::sim::TwoRobotSimulator sim(std::move(s1), std::move(s2), opts);
+    const auto res = sim.run();
+
+    rv::sim::GlobalTrace t1(std::make_shared<PathProgram>(p1, "fuzz1"),
+                            RobotAttributes{}, {0.0, 0.0}, horizon + 1.0);
+    rv::sim::GlobalTrace t2(std::make_shared<PathProgram>(p2, "fuzz2"), a2,
+                            origin2, horizon + 1.0);
+    const double oracle = oracle_first_contact(t1, t2, r, horizon);
+
+    if (res.met) {
+      ++contacts;
+      ASSERT_GE(oracle, 0.0)
+          << "trial " << trial << ": simulator met at " << res.time
+          << " but oracle saw nothing";
+      // The dense scan can be slightly late on steep crossings; both
+      // must agree to scan resolution.
+      EXPECT_NEAR(res.time, oracle, 2e-2)
+          << "trial " << trial << " r=" << r;
+    } else if (oracle >= 0.0) {
+      // The oracle "found" a contact the simulator missed: only
+      // acceptable if it is a graze within the contact tolerance of
+      // the horizon boundary.
+      ADD_FAILURE() << "trial " << trial
+                    << ": oracle found contact at " << oracle
+                    << " that the simulator missed";
+    }
+  }
+  // The scenario generator must actually produce contacts to test.
+  EXPECT_GE(contacts, 5);
+}
+
+TEST(FuzzSimulator, FirstContactNeverAfterOracle) {
+  // Stronger property on a second stream: when both find a contact,
+  // the certified sweep's time is never later than the oracle's
+  // (the sweep cannot skip the first crossing).
+  Xoshiro256 rng(777);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Path p1 = random_path(rng, 6);
+    const Path p2 = random_path(rng, 6);
+    const Vec2 origin2{rng.uniform(1.0, 4.0), rng.uniform(-1.0, 1.0)};
+    const double r = rng.uniform(0.3, 0.8);
+    const double horizon = 25.0;
+
+    rv::sim::SimOptions opts;
+    opts.visibility = r;
+    opts.max_time = horizon;
+    rv::sim::TwoRobotSimulator sim(
+        {std::make_shared<PathProgram>(p1, "a"), RobotAttributes{},
+         {0.0, 0.0}},
+        {std::make_shared<PathProgram>(p2, "b"), RobotAttributes{}, origin2},
+        opts);
+    const auto res = sim.run();
+    if (!res.met) continue;
+
+    rv::sim::GlobalTrace t1(std::make_shared<PathProgram>(p1, "a"),
+                            RobotAttributes{}, {0.0, 0.0}, horizon + 1.0);
+    rv::sim::GlobalTrace t2(std::make_shared<PathProgram>(p2, "b"),
+                            RobotAttributes{}, origin2, horizon + 1.0);
+    const double oracle = oracle_first_contact(t1, t2, r, horizon);
+    ASSERT_GE(oracle, 0.0);
+    EXPECT_LE(res.time, oracle + 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(FuzzFrameMap, RandomProgramsSatisfyLemma4Identity) {
+  Xoshiro256 rng(4711);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Path local = random_path(rng, 6);
+    RobotAttributes attrs;
+    attrs.speed = rng.uniform(0.3, 3.0);
+    attrs.time_unit = rng.uniform(0.3, 3.0);
+    attrs.orientation = rng.angle();
+    attrs.chirality = rng.sign();
+    const Vec2 origin{rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)};
+    const double horizon = attrs.time_unit * local.duration();
+    if (horizon <= 0.0) continue;
+
+    rv::sim::GlobalTrace trace(std::make_shared<PathProgram>(local, "fz"),
+                               attrs, origin, horizon);
+    const rv::geom::Mat2 m = rv::geom::frame_matrix(attrs);
+    for (int i = 0; i < 25; ++i) {
+      const double t = rng.uniform(0.0, horizon * 0.999);
+      const Vec2 expected =
+          origin + m * local.position_at(t / attrs.time_unit);
+      EXPECT_TRUE(rv::geom::approx_equal(trace.position_at(t), expected, 1e-6))
+          << "trial " << trial << " t=" << t;
+    }
+  }
+}
+
+TEST(FuzzPaths, RandomPathsAreAlwaysContinuousAndClamped) {
+  Xoshiro256 rng(90210);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Path p = random_path(rng, 10);
+    EXPECT_TRUE(p.is_continuous(1e-9)) << trial;
+    EXPECT_TRUE(rv::geom::approx_equal(p.position_at(-1.0), p.start()));
+    EXPECT_TRUE(
+        rv::geom::approx_equal(p.position_at(p.duration() + 5.0), p.end()));
+    // Durations are non-negative and sum consistently.
+    double acc = 0.0;
+    for (const auto& seg : p.segments()) {
+      const double dur = rv::traj::duration(seg);
+      EXPECT_GE(dur, 0.0);
+      acc += dur;
+    }
+    EXPECT_NEAR(acc, p.duration(), 1e-9 * (1.0 + acc));
+  }
+}
+
+}  // namespace

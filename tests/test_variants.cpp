@@ -1,0 +1,188 @@
+// Tests for the ablation variants: VariantRoundEmitter (spacing/wait
+// knobs) and VariantRendezvousProgram (active-phase order).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/constants.hpp"
+#include "rendezvous/algorithm7.hpp"
+#include "rendezvous/schedule.hpp"
+#include "rendezvous/variants.hpp"
+#include "search/emitter.hpp"
+#include "search/times.hpp"
+#include "search/variants.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace rv::search;
+using rv::geom::Vec2;
+using rv::traj::Segment;
+
+// ---------------------------------------------------------------------------
+// VariantRoundEmitter
+// ---------------------------------------------------------------------------
+
+TEST(VariantEmitter, DefaultOptionsReproducePaperEmitter) {
+  for (int k = 1; k <= 4; ++k) {
+    SearchRoundEmitter paper(k);
+    VariantRoundEmitter variant(k, VariantOptions{});
+    while (!paper.done()) {
+      ASSERT_FALSE(variant.done());
+      const Segment a = paper.next();
+      const Segment b = variant.next();
+      EXPECT_EQ(a.index(), b.index());
+      EXPECT_NEAR(rv::traj::duration(a), rv::traj::duration(b), 1e-12);
+      EXPECT_TRUE(rv::geom::approx_equal(rv::traj::start_point(a),
+                                         rv::traj::start_point(b), 1e-12));
+    }
+    EXPECT_TRUE(variant.done());
+  }
+}
+
+TEST(VariantEmitter, NoWaitDropsExactlyTheWait) {
+  for (int k = 1; k <= 5; ++k) {
+    VariantOptions with;
+    VariantOptions without;
+    without.include_wait = false;
+    double dur_with = 0.0, dur_without = 0.0;
+    for (const auto* opts : {&with, &without}) {
+      VariantRoundEmitter emitter(k, *opts);
+      double acc = 0.0;
+      while (!emitter.done()) acc += rv::traj::duration(emitter.next());
+      (opts == &with ? dur_with : dur_without) = acc;
+    }
+    EXPECT_NEAR(dur_with - dur_without, search_round_wait(k),
+                1e-9 * (1.0 + dur_with))
+        << "k = " << k;
+  }
+}
+
+TEST(VariantEmitter, TighterSpacingEmitsMoreCircles) {
+  // c = 1 must use ~2x the circles of c = 2 (and cost ~2x the time).
+  double durations[2] = {0.0, 0.0};
+  const double spacings[2] = {1.0, 2.0};
+  for (int s = 0; s < 2; ++s) {
+    VariantOptions opts;
+    opts.spacing_factor = spacings[s];
+    opts.include_wait = false;
+    VariantRoundEmitter emitter(3, opts);
+    while (!emitter.done()) durations[s] += rv::traj::duration(emitter.next());
+  }
+  EXPECT_GT(durations[0], 1.8 * durations[1]);
+  EXPECT_LT(durations[0], 2.3 * durations[1]);
+}
+
+TEST(VariantEmitter, WiderSpacingStillContinuous) {
+  VariantOptions opts;
+  opts.spacing_factor = 3.0;
+  VariantRoundEmitter emitter(3, opts);
+  Vec2 cursor{0.0, 0.0};
+  while (!emitter.done()) {
+    const Segment seg = emitter.next();
+    if (rv::traj::duration(seg) == 0.0) continue;
+    ASSERT_TRUE(
+        rv::geom::approx_equal(rv::traj::start_point(seg), cursor, 1e-9));
+    cursor = rv::traj::end_point(seg);
+  }
+}
+
+TEST(VariantEmitter, Validation) {
+  EXPECT_THROW(VariantRoundEmitter(0, VariantOptions{}),
+               std::invalid_argument);
+  VariantOptions bad;
+  bad.spacing_factor = 0.0;
+  EXPECT_THROW(VariantRoundEmitter(2, bad), std::invalid_argument);
+  VariantRoundEmitter emitter(1, VariantOptions{});
+  while (!emitter.done()) (void)emitter.next();
+  EXPECT_THROW((void)emitter.next(), std::logic_error);
+}
+
+TEST(VariantSearchProgram, AdvancesRounds) {
+  VariantOptions opts;
+  auto prog = make_variant_search_program(opts);
+  EXPECT_NE(prog->name().find("spacing"), std::string::npos);
+  // Pull two rounds' worth of segments.
+  auto* typed = dynamic_cast<VariantSearchProgram*>(prog.get());
+  ASSERT_NE(typed, nullptr);
+  while (typed->current_round() < 3) (void)prog->next();
+  EXPECT_GE(typed->current_round(), 3);
+}
+
+TEST(VariantSearchProgram, WideSpacingStillSolvesSearchEventually) {
+  // Coverage voided per round, but shrinking rho in later rounds
+  // still finds the target.
+  VariantOptions opts;
+  opts.spacing_factor = 3.0;
+  rv::sim::SimOptions sopts;
+  sopts.visibility = 0.1;
+  sopts.max_time = 1e5;
+  const auto res = rv::sim::simulate_search(make_variant_search_program(opts),
+                                            {1.2, 0.7}, sopts);
+  EXPECT_TRUE(res.met);
+}
+
+// ---------------------------------------------------------------------------
+// VariantRendezvousProgram
+// ---------------------------------------------------------------------------
+
+TEST(VariantRendezvous, ForwardReverseMatchesPaperProgram) {
+  rv::rendezvous::RendezvousProgram paper;
+  rv::rendezvous::VariantRendezvousProgram variant(
+      rv::rendezvous::ActivePhaseOrder::kForwardThenReverse);
+  for (int i = 0; i < 5000; ++i) {
+    const Segment a = paper.next();
+    const Segment b = variant.next();
+    ASSERT_EQ(a.index(), b.index()) << "segment " << i;
+    ASSERT_NEAR(rv::traj::duration(a), rv::traj::duration(b), 1e-12)
+        << "segment " << i;
+  }
+}
+
+TEST(VariantRendezvous, ForwardTwiceKeepsDurations) {
+  // Different order, same per-round time budget: the schedule of
+  // Lemma 8 is preserved.
+  rv::rendezvous::VariantRendezvousProgram fwd2(
+      rv::rendezvous::ActivePhaseOrder::kForwardTwice);
+  double clock = 0.0;
+  while (fwd2.current_round() <= 3) clock += rv::traj::duration(fwd2.next());
+  // After finishing round 3 the clock is at I(4) (up to the segment
+  // that crossed the boundary).
+  EXPECT_NEAR(clock, rv::rendezvous::inactive_start(4),
+              2.0 * rv::rendezvous::search_all_time(4) + 1e-6);
+}
+
+TEST(VariantRendezvous, BothOrdersSolveClockRendezvous) {
+  for (const auto order :
+       {rv::rendezvous::ActivePhaseOrder::kForwardThenReverse,
+        rv::rendezvous::ActivePhaseOrder::kForwardTwice}) {
+    rv::geom::RobotAttributes a;
+    a.time_unit = 0.5;
+    rv::sim::SimOptions opts;
+    opts.visibility = 0.4;
+    opts.max_time = 1e6;
+    const auto res = rv::sim::simulate_rendezvous(
+        [order] {
+          return rv::rendezvous::make_variant_rendezvous_program(order);
+        },
+        a, {1.0, 0.0}, opts);
+    EXPECT_TRUE(res.met) << rv::rendezvous::VariantRendezvousProgram(order)
+                                .name();
+  }
+}
+
+TEST(VariantRendezvous, Names) {
+  EXPECT_NE(rv::rendezvous::VariantRendezvousProgram(
+                rv::rendezvous::ActivePhaseOrder::kForwardThenReverse)
+                .name()
+                .find("fwd+rev"),
+            std::string::npos);
+  EXPECT_NE(rv::rendezvous::VariantRendezvousProgram(
+                rv::rendezvous::ActivePhaseOrder::kForwardTwice)
+                .name()
+                .find("fwd+fwd"),
+            std::string::npos);
+}
+
+}  // namespace

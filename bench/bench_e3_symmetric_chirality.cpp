@@ -5,16 +5,23 @@
 // Regenerated content: for each (v, φ) the measured meeting time, the
 // Theorem 2 bound, and their ratio; plus the µ → time anticorrelation
 // (larger µ ⇒ faster rendezvous).
+//
+// The sweep itself is a declarative `engine::ScenarioSet` executed by
+// the parallel `engine::Runner`; this file only declares the grid and
+// reports.
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <vector>
 
 #include "analysis/bounds.hpp"
 #include "bench_common.hpp"
-#include "mathx/constants.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
 #include "geom/difference_map.hpp"
 #include "io/table.hpp"
+#include "mathx/constants.hpp"
 #include "rendezvous/core.hpp"
 #include "search/times.hpp"
 #include "viz/ascii.hpp"
@@ -25,55 +32,58 @@ int main() {
                 "Theorem 2 (chi = 1 branch), Lemma 6");
 
   const double d = 2.0, r = 0.25;
-  const std::vector<double> speeds{0.25, 0.5, 1.0, 1.5, 2.0, 4.0};
-  const std::vector<double> phis{0.0, mathx::kPi / 4.0, mathx::kPi / 2.0,
-                                 mathx::kPi, 3.0 * mathx::kPi / 2.0};
+
+  engine::ScenarioSet set;
+  set.speeds({0.25, 0.5, 1.0, 1.5, 2.0, 4.0})
+      .orientations({0.0, mathx::kPi / 4.0, mathx::kPi / 2.0, mathx::kPi,
+                     3.0 * mathx::kPi / 2.0})
+      .distances({d})
+      .visibility(r)
+      .algorithm(rendezvous::AlgorithmChoice::kAlgorithm4)
+      .filter([](const rendezvous::Scenario& s) {
+        // Drop the infeasible corner (v = 1, phi = 0): mu = 0.
+        return geom::mu(s.attrs.speed, s.attrs.orientation) >= 1e-9;
+      })
+      .horizon([&](const rendezvous::Scenario& s) {
+        return std::max(analysis::theorem2_bound(s.attrs, d, r),
+                        analysis::theorem2_guaranteed_time(s.attrs, d, r)) +
+               1.0;
+      });
+
+  const engine::ResultSet results = engine::run_scenarios(set);
 
   io::Table table({"v", "phi", "mu", "t meet", "Thm2 bound", "t/bound",
                    "applicable"});
   std::vector<io::CsvRow> csv;
   std::vector<double> mus, times;
 
-  for (const double v : speeds) {
-    for (const double phi : phis) {
-      const double mu = geom::mu(v, phi);
-      if (mu < 1e-9) {
-        table.add_row({io::format_fixed(v, 2), io::format_fixed(phi, 3),
-                       "0", "-", "-", "-", "infeasible"});
-        continue;
-      }
-      geom::RobotAttributes a;
-      a.speed = v;
-      a.orientation = phi;
-      const double bound = analysis::theorem2_bound(a, d, r);
-      const double guarantee = analysis::theorem2_guaranteed_time(a, d, r);
-      rendezvous::Scenario s;
-      s.attrs = a;
-      s.offset = {d, 0.0};
-      s.visibility = r;
-      s.algorithm = rendezvous::AlgorithmChoice::kAlgorithm4;
-      s.max_time = std::max(bound, guarantee) + 1.0;
-      const auto out = rendezvous::run_scenario(s);
-      if (!out.sim.met) {
-        std::cerr << "UNEXPECTED MISS v=" << v << " phi=" << phi << '\n';
-        return 1;
-      }
-      const bool applicable =
-          search::theorem1_bound_applicable(d / mu, r / mu);
-      table.add_row({io::format_fixed(v, 2), io::format_fixed(phi, 3),
-                     io::format_fixed(mu, 3), io::format_fixed(out.sim.time, 2),
-                     io::format_fixed(bound, 1),
-                     bench::ratio_str(out.sim.time, bound),
-                     applicable ? "yes" : "no"});
-      csv.push_back({io::format_double(v), io::format_double(phi),
-                     io::format_double(mu), io::format_double(out.sim.time),
-                     io::format_double(bound)});
-      mus.push_back(mu);
-      times.push_back(out.sim.time);
+  for (const engine::RunRecord& rec : results) {
+    const double v = rec.scenario.attrs.speed;
+    const double phi = rec.scenario.attrs.orientation;
+    const double mu = geom::mu(v, phi);
+    const double bound = analysis::theorem2_bound(rec.scenario.attrs, d, r);
+    if (!rec.outcome.sim.met) {
+      std::cerr << "UNEXPECTED MISS v=" << v << " phi=" << phi << '\n';
+      return 1;
     }
+    const bool applicable = search::theorem1_bound_applicable(d / mu, r / mu);
+    table.add_row({io::format_fixed(v, 2), io::format_fixed(phi, 3),
+                   io::format_fixed(mu, 3),
+                   io::format_fixed(rec.outcome.sim.time, 2),
+                   io::format_fixed(bound, 1),
+                   bench::ratio_str(rec.outcome.sim.time, bound),
+                   applicable ? "yes" : "no"});
+    csv.push_back({io::format_double(v), io::format_double(phi),
+                   io::format_double(mu),
+                   io::format_double(rec.outcome.sim.time),
+                   io::format_double(bound)});
+    mus.push_back(mu);
+    times.push_back(rec.outcome.sim.time);
   }
 
-  table.print(std::cout, "Algorithm 4 rendezvous, d = 2, r = 0.25:");
+  table.print(std::cout,
+              "Algorithm 4 rendezvous, d = 2, r = 0.25 (v = 1, phi = 0 "
+              "omitted: mu = 0, infeasible):");
 
   std::cout << "\nmeeting time vs mu (log-log; expect downward trend — "
                "bigger frame mismatch = faster symmetry breaking):\n"

@@ -6,6 +6,9 @@
 // Regenerated content: time vs v sweep (with the blow-up visible), a
 // φ grid showing the bound is uniform over orientations, and an offset
 // direction sweep probing Lemma 7's worst-case maximisation.
+//
+// Both sweeps are declarative `engine::ScenarioSet`s executed by the
+// parallel `engine::Runner`; this file only declares grids and reports.
 
 #include <algorithm>
 #include <cmath>
@@ -14,9 +17,11 @@
 
 #include "analysis/bounds.hpp"
 #include "bench_common.hpp"
-#include "mathx/constants.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
 #include "geom/difference_map.hpp"
 #include "io/table.hpp"
+#include "mathx/constants.hpp"
 #include "rendezvous/core.hpp"
 #include "search/times.hpp"
 #include "viz/ascii.hpp"
@@ -29,31 +34,50 @@ int main() {
 
   const double d = 2.0, r = 0.25;
 
-  // --- speed sweep: the (1 − v) blow-up -----------------------------------
+  // --- speed sweep: the (1 − v) blow-up, worst over 8 offset directions ---
+  const std::vector<double> speeds{0.2, 0.4, 0.6, 0.75, 0.9};
+  std::vector<geom::Vec2> directions;
+  for (int i = 0; i < 8; ++i) {
+    directions.push_back(geom::polar(d, 2.0 * mathx::kPi * i / 8.0 + 0.05));
+  }
+
+  engine::ScenarioSet speed_sweep;
+  {
+    rendezvous::Scenario base;
+    base.attrs.chirality = -1;
+    base.attrs.orientation = 1.0;
+    base.visibility = r;
+    base.algorithm = rendezvous::AlgorithmChoice::kAlgorithm4;
+    speed_sweep.base(base)
+        .speeds(speeds)
+        .offsets(directions)
+        .horizon([&](const rendezvous::Scenario& s) {
+          return std::max(analysis::theorem2_bound(s.attrs, d, r),
+                          analysis::theorem2_guaranteed_time(s.attrs, d, r)) +
+                 1.0;
+        });
+  }
+  const engine::ResultSet swept = engine::run_scenarios(speed_sweep);
+
   io::Table t1({"v", "1-v", "worst t over dirs", "Thm2 bound", "t/bound"});
   std::vector<io::CsvRow> csv;
   std::vector<double> gains, times;
-  for (const double v : {0.2, 0.4, 0.6, 0.75, 0.9}) {
+  // Records arrive in grid order: 8 consecutive directions per speed.
+  for (std::size_t k = 0; k < speeds.size(); ++k) {
+    const double v = speeds[k];
     geom::RobotAttributes a;
     a.speed = v;
     a.chirality = -1;
     a.orientation = 1.0;
     const double bound = analysis::theorem2_bound(a, d, r);
-    const double guarantee = analysis::theorem2_guaranteed_time(a, d, r);
     double worst = 0.0;
-    for (int i = 0; i < 8; ++i) {
-      rendezvous::Scenario s;
-      s.attrs = a;
-      s.offset = geom::polar(d, 2.0 * mathx::kPi * i / 8.0 + 0.05);
-      s.visibility = r;
-      s.algorithm = rendezvous::AlgorithmChoice::kAlgorithm4;
-      s.max_time = std::max(bound, guarantee) + 1.0;
-      const auto out = rendezvous::run_scenario(s);
-      if (!out.sim.met) {
+    for (std::size_t i = 0; i < directions.size(); ++i) {
+      const engine::RunRecord& rec = swept[k * directions.size() + i];
+      if (!rec.outcome.sim.met) {
         std::cerr << "UNEXPECTED MISS v=" << v << " dir " << i << '\n';
         return 1;
       }
-      worst = std::max(worst, out.sim.time);
+      worst = std::max(worst, rec.outcome.sim.time);
     }
     t1.add_row({io::format_fixed(v, 2), io::format_fixed(1.0 - v, 2),
                 io::format_fixed(worst, 2), io::format_fixed(bound, 1),
@@ -73,24 +97,36 @@ int main() {
                                   70, true, true);
 
   // --- orientation grid at fixed v -----------------------------------------
-  io::Table t2({"phi", "mu", "t meet", "bound (phi-free)"});
   geom::RobotAttributes a;
   a.speed = 0.5;
   a.chirality = -1;
   const double bound_v = analysis::theorem2_bound(a, d, r);
-  for (const double phi : {0.0, 0.8, 1.6, 2.4, mathx::kPi, 4.0, 5.2}) {
-    a.orientation = phi;
-    const double guarantee = analysis::theorem2_guaranteed_time(a, d, r);
-    rendezvous::Scenario s;
-    s.attrs = a;
-    s.offset = {0.0, d};  // worst-ish direction for chi = -1
-    s.visibility = r;
-    s.algorithm = rendezvous::AlgorithmChoice::kAlgorithm4;
-    s.max_time = std::max(bound_v, guarantee) + 1.0;
-    const auto out = rendezvous::run_scenario(s);
+
+  engine::ScenarioSet phi_sweep;
+  {
+    rendezvous::Scenario base;
+    base.attrs = a;
+    base.offset = {0.0, d};  // worst-ish direction for chi = -1
+    base.visibility = r;
+    base.algorithm = rendezvous::AlgorithmChoice::kAlgorithm4;
+    phi_sweep.base(base)
+        .orientations({0.0, 0.8, 1.6, 2.4, mathx::kPi, 4.0, 5.2})
+        .horizon([&](const rendezvous::Scenario& s) {
+          return std::max(bound_v,
+                          analysis::theorem2_guaranteed_time(s.attrs, d, r)) +
+                 1.0;
+        });
+  }
+  const engine::ResultSet phis = engine::run_scenarios(phi_sweep);
+
+  io::Table t2({"phi", "mu", "t meet", "bound (phi-free)"});
+  for (const engine::RunRecord& rec : phis) {
+    const double phi = rec.scenario.attrs.orientation;
     t2.add_row({io::format_fixed(phi, 2),
                 io::format_fixed(geom::mu(0.5, phi), 3),
-                out.sim.met ? io::format_fixed(out.sim.time, 2) : "MISS",
+                rec.outcome.sim.met
+                    ? io::format_fixed(rec.outcome.sim.time, 2)
+                    : "MISS",
                 io::format_fixed(bound_v, 1)});
   }
   t2.print(std::cout,

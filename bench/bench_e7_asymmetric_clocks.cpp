@@ -6,6 +6,9 @@
 // This is the paper's central claim made executable: with *only* the
 // clocks different (identical speeds, compasses, chiralities), the
 // robots still meet — and within the predicted round.
+//
+// The three case grids are declarative `engine::ScenarioSet`s executed
+// by the parallel `engine::Runner`.
 
 #include <algorithm>
 #include <cmath>
@@ -15,9 +18,11 @@
 #include "analysis/bounds.hpp"
 #include "analysis/competitive.hpp"
 #include "bench_common.hpp"
-#include "mathx/constants.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
 #include "io/table.hpp"
 #include "mathx/binary.hpp"
+#include "mathx/constants.hpp"
 #include "rendezvous/core.hpp"
 #include "rendezvous/schedule.hpp"
 #include "search/times.hpp"
@@ -31,6 +36,19 @@ int round_at_local_time(double t) {
   int n = 1;
   while (rv::rendezvous::inactive_start(n + 1) <= t) ++n;
   return n;
+}
+
+// A universal (Algorithm 7) scenario for relative attributes `a` with
+// horizon = Theorem 3 bound + slack.
+rv::rendezvous::Scenario universal_case(const rv::geom::RobotAttributes& a,
+                                        double d, double r) {
+  rv::rendezvous::Scenario s;
+  s.attrs = a;
+  s.offset = {d, 0.0};
+  s.visibility = r;
+  s.algorithm = rv::rendezvous::AlgorithmChoice::kAlgorithm7;
+  s.max_time = rv::analysis::theorem3_bound(a.time_unit, d, r) + 1.0;
+  return s;
 }
 
 }  // namespace
@@ -51,31 +69,41 @@ int main() {
                                {0.6, 1}, {2.0 / 3.0, 0}, {0.75, 0},
                                {0.75, 1}, {0.9, 0}};
 
+  engine::ScenarioSet tau_set;
+  for (const Case c : grid) {
+    geom::RobotAttributes a;
+    a.time_unit = c.t * mathx::pow2(-c.a);
+    tau_set.add(universal_case(a, d, r),
+                io::format_fixed(c.t, 4) + "*2^-" + std::to_string(c.a));
+  }
+  const engine::ResultSet tau_results = engine::run_scenarios(tau_set);
+
   io::Table table({"tau", "t", "a", "meet time", "meet round", "k* (Lem 13)",
                    "time bound I(k*+1)", "time/bound"});
   std::vector<io::CsvRow> csv;
   std::vector<double> taus, rounds_measured, rounds_bound;
 
-  for (const Case c : grid) {
-    const double tau = c.t * mathx::pow2(-c.a);
-    geom::RobotAttributes a;
-    a.time_unit = tau;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Case c = grid[i];
+    const engine::RunRecord& rec = tau_results[i];
+    const double tau = rec.scenario.attrs.time_unit;
     const int k_star = rendezvous::rendezvous_round_bound(tau, n_star);
     const double bound = analysis::theorem3_bound(tau, d, r);
-    const auto out = rendezvous::run_universal(a, d, r, bound + 1.0);
-    if (!out.sim.met) {
+    if (!rec.outcome.sim.met) {
       std::cerr << "UNEXPECTED MISS tau=" << tau << '\n';
       return 1;
     }
     // The searching (slower-clock) robot here is the reference robot;
     // its local clock is global time.
-    const int meet_round = round_at_local_time(out.sim.time);
+    const int meet_round = round_at_local_time(rec.outcome.sim.time);
     table.add_row({io::format_fixed(tau, 4), io::format_fixed(c.t, 4),
-                   std::to_string(c.a), io::format_fixed(out.sim.time, 1),
+                   std::to_string(c.a),
+                   io::format_fixed(rec.outcome.sim.time, 1),
                    std::to_string(meet_round), std::to_string(k_star),
                    io::format_fixed(bound, 1),
-                   bench::ratio_str(out.sim.time, bound)});
-    csv.push_back({io::format_double(tau), io::format_double(out.sim.time),
+                   bench::ratio_str(rec.outcome.sim.time, bound)});
+    csv.push_back({io::format_double(tau),
+                   io::format_double(rec.outcome.sim.time),
                    std::to_string(meet_round), std::to_string(k_star),
                    io::format_double(bound)});
     taus.push_back(tau);
@@ -96,7 +124,7 @@ int main() {
   // Clock + other attributes combined: Theorem 3 is insensitive to
   // speed/orientation/chirality (the proof only needs one robot to
   // find the other *stationary*).
-  io::Table t2({"tau", "v", "phi", "chi", "meet time", "met"});
+  engine::ScenarioSet combo_set;
   for (const auto& [v, phi, chi] :
        std::vector<std::tuple<double, double, int>>{
            {2.0, 0.0, 1}, {0.5, 2.0, -1}, {1.0, mathx::kPi, -1}}) {
@@ -105,11 +133,21 @@ int main() {
     a.speed = v;
     a.orientation = phi;
     a.chirality = chi;
-    const auto out = rendezvous::run_universal(a, d, r, 1e6);
-    t2.add_row({"0.5", io::format_fixed(v, 2), io::format_fixed(phi, 2),
-                std::to_string(chi),
-                out.sim.met ? io::format_fixed(out.sim.time, 1) : "-",
-                out.sim.met ? "yes" : "NO"});
+    rendezvous::Scenario s = universal_case(a, d, r);
+    s.max_time = 1e6;
+    combo_set.add(s);
+  }
+  const engine::ResultSet combos = engine::run_scenarios(combo_set);
+
+  io::Table t2({"tau", "v", "phi", "chi", "meet time", "met"});
+  for (const engine::RunRecord& rec : combos) {
+    const geom::RobotAttributes& a = rec.scenario.attrs;
+    t2.add_row({"0.5", io::format_fixed(a.speed, 2),
+                io::format_fixed(a.orientation, 2),
+                std::to_string(a.chirality),
+                rec.outcome.sim.met ? io::format_fixed(rec.outcome.sim.time, 1)
+                                    : "-",
+                rec.outcome.sim.met ? "yes" : "NO"});
   }
   t2.print(std::cout, "\ntau = 1/2 combined with other attribute differences:");
 
@@ -123,24 +161,32 @@ int main() {
   {
     const double dh = 4.0, rh = 0.1;
     const int nh = search::guaranteed_round(dh, rh);
-    io::Table t3({"tau", "meet time", "meet round", "k* (Lem 13)",
-                  "k exact (Lem 12, W)", "vs offline OPT"});
+
+    engine::ScenarioSet hard_set;
     for (const double tau : {0.75, 0.8, 0.9}) {
       geom::RobotAttributes a;
       a.time_unit = tau;
-      const double bound = analysis::theorem3_bound(tau, dh, rh);
-      const auto out = rendezvous::run_universal(a, dh, rh, bound + 1.0);
-      if (!out.sim.met) {
+      hard_set.add(universal_case(a, dh, rh));
+    }
+    const engine::ResultSet hard = engine::run_scenarios(hard_set);
+
+    io::Table t3({"tau", "meet time", "meet round", "k* (Lem 13)",
+                  "k exact (Lem 12, W)", "vs offline OPT"});
+    for (const engine::RunRecord& rec : hard) {
+      const double tau = rec.scenario.attrs.time_unit;
+      if (!rec.outcome.sim.met) {
         std::cerr << "UNEXPECTED MISS (hard) tau=" << tau << '\n';
         return 1;
       }
       t3.add_row(
-          {io::format_fixed(tau, 2), io::format_fixed(out.sim.time, 1),
-           std::to_string(round_at_local_time(out.sim.time)),
+          {io::format_fixed(tau, 2),
+           io::format_fixed(rec.outcome.sim.time, 1),
+           std::to_string(round_at_local_time(rec.outcome.sim.time)),
            std::to_string(rendezvous::rendezvous_round_bound(tau, nh)),
            std::to_string(analysis::lemma12_exact_round_bound(tau, nh)),
-           io::format_fixed(
-               analysis::competitive_ratio(out.sim.time, dh, rh, 1.0), 1) +
+           io::format_fixed(analysis::competitive_ratio(rec.outcome.sim.time,
+                                                        dh, rh, 1.0),
+                            1) +
                "x"});
     }
     t3.print(std::cout,

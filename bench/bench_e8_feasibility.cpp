@@ -7,15 +7,21 @@
 //    certified lower bound.  (Infeasibility cannot be *observed* in
 //    finite time; the certificate is the paper's "only if" made
 //    checkable.)
+//
+// The truth table is a declarative `engine::ScenarioSet`; the CSV is
+// the engine `ResultSet`'s structured emission plus a derived
+// lower-bound column.
 
 #include <cmath>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "mathx/constants.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
 #include "geom/difference_map.hpp"
 #include "io/table.hpp"
+#include "mathx/constants.hpp"
 #include "rendezvous/core.hpp"
 #include "rendezvous/feasibility.hpp"
 
@@ -51,57 +57,65 @@ int main() {
   const geom::Vec2 offset{1.0, 0.4};
   const double r = 0.05;
 
-  io::Table table({"v", "tau", "phi", "chi", "Theorem 4", "det T_circ",
-                   "sep. lower bound", "sim outcome", "min sep seen"});
-  std::vector<io::CsvRow> csv;
-
+  engine::ScenarioSet set;
   for (const Cell& c : cells) {
-    geom::RobotAttributes a;
-    a.speed = c.v;
-    a.time_unit = c.tau;
-    a.orientation = c.phi;
-    a.chirality = c.chi;
-    const auto cls = rendezvous::classify(a);
-    const bool feasible = rendezvous::is_feasible(cls);
-    const double det =
-        c.tau == 1.0
-            ? geom::difference_determinant(c.v, c.phi, c.chi)
-            : std::nan("");  // the tau != 1 case has no static T∘
-    const double lower = rendezvous::separation_lower_bound(a, offset);
-
     rendezvous::Scenario s;
-    s.attrs = a;
+    s.attrs.speed = c.v;
+    s.attrs.time_unit = c.tau;
+    s.attrs.orientation = c.phi;
+    s.attrs.chirality = c.chi;
     s.offset = offset;
     s.visibility = r;
     s.algorithm = rendezvous::AlgorithmChoice::kAlgorithm7;
-    s.max_time = feasible ? 1e6 : 3e4;  // long horizon for infeasible cells
-    const auto out = rendezvous::run_scenario(s);
+    set.add(s);
+  }
+  // Long horizon for feasible cells (they must meet), shorter for the
+  // infeasible ones (they only need to witness the invariant bound).
+  set.horizon([](const rendezvous::Scenario& s) {
+    return rendezvous::rendezvous_feasible(s.attrs) ? 1e6 : 3e4;
+  });
 
-    std::string outcome;
-    if (out.sim.met) {
-      outcome = "met t=" + io::format_fixed(out.sim.time, 1);
+  const engine::ResultSet results = engine::run_scenarios(set);
+
+  const auto lower_bound_of = [&](const engine::RunRecord& rec) {
+    return rendezvous::separation_lower_bound(rec.scenario.attrs, offset);
+  };
+
+  io::Table table({"v", "tau", "phi", "chi", "Theorem 4", "det T_circ",
+                   "sep. lower bound", "sim outcome", "min sep seen"});
+
+  for (const engine::RunRecord& rec : results) {
+    const geom::RobotAttributes& a = rec.scenario.attrs;
+    const bool feasible = rendezvous::is_feasible(rec.outcome.feasibility);
+    const double det =
+        a.time_unit == 1.0
+            ? geom::difference_determinant(a.speed, a.orientation, a.chirality)
+            : std::nan("");  // the tau != 1 case has no static T∘
+    const double lower = lower_bound_of(rec);
+    const auto& sim = rec.outcome.sim;
+
+    std::string sim_outcome;
+    if (sim.met) {
+      sim_outcome = "met t=" + io::format_fixed(sim.time, 1);
     } else {
-      outcome = feasible ? "NOT MET (unexpected)" : "no meet (horizon)";
+      sim_outcome = feasible ? "NOT MET (unexpected)" : "no meet (horizon)";
     }
-    table.add_row({io::format_fixed(c.v, 2), io::format_fixed(c.tau, 2),
-                   io::format_fixed(c.phi, 3), std::to_string(c.chi),
+    table.add_row({io::format_fixed(a.speed, 2),
+                   io::format_fixed(a.time_unit, 2),
+                   io::format_fixed(a.orientation, 3),
+                   std::to_string(a.chirality),
                    feasible ? "feasible" : "INFEASIBLE",
                    std::isnan(det) ? "-" : io::format_fixed(det, 4),
-                   io::format_fixed(lower, 4), outcome,
-                   io::format_fixed(out.sim.min_distance, 4)});
-    csv.push_back({io::format_double(c.v), io::format_double(c.tau),
-                   io::format_double(c.phi), std::to_string(c.chi),
-                   feasible ? "1" : "0", out.sim.met ? "1" : "0",
-                   io::format_double(out.sim.min_distance),
-                   io::format_double(lower)});
+                   io::format_fixed(lower, 4), sim_outcome,
+                   io::format_fixed(sim.min_distance, 4)});
 
     // Consistency checks: feasible must meet, infeasible must respect
     // the invariant lower bound.
-    if (feasible && !out.sim.met) {
+    if (feasible && !sim.met) {
       std::cerr << "ERROR: feasible cell failed to meet\n";
       return 1;
     }
-    if (!feasible && out.sim.min_distance < lower - 1e-6) {
+    if (!feasible && sim.min_distance < lower - 1e-6) {
       std::cerr << "ERROR: infeasible cell violated its separation "
                    "certificate\n";
       return 1;
@@ -111,10 +125,15 @@ int main() {
   table.print(std::cout,
               "attribute grid, offset (1.0, 0.4), r = 0.05, Algorithm 7:");
 
-  bench::dump_csv("e8_feasibility.csv",
-                  {"v", "tau", "phi", "chi", "feasible", "met", "min_sep",
-                   "lower_bound"},
-                  csv);
+  // Structured emission: the engine's standard columns plus the derived
+  // certificate column.
+  const std::vector<engine::Column> extras{
+      {"lower_bound", [&](const engine::RunRecord& rec) {
+         return io::format_double(lower_bound_of(rec));
+       }}};
+  bench::dump_csv("e8_feasibility.csv", results.csv_header(extras),
+                  results.csv_rows(extras));
+
   std::cout
       << "\nshape check: the three feasible families all meet; the identical "
          "cell keeps separation exactly |d|; the mirror cells keep the "

@@ -9,6 +9,8 @@
 
 #include <memory>
 
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
 #include "geom/difference_map.hpp"
 #include "mathx/lambert_w.hpp"
 #include "rendezvous/algorithm7.hpp"
@@ -121,6 +123,27 @@ void BM_DifferenceFactorisation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DifferenceFactorisation);
+
+void BM_EngineScenarioSweep(benchmark::State& state) {
+  // A 16-cell attribute grid through the batch engine; the argument is
+  // the worker-thread count, so the timings expose the sweep's
+  // parallel scaling (CSV output is identical at every thread count).
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    rv::engine::ScenarioSet set;
+    set.speeds({0.5, 1.0, 2.0, 4.0})
+        .time_units({0.5, 0.75})
+        .chiralities({1, -1})
+        .visibility(0.25)
+        .algorithm(rv::rendezvous::AlgorithmChoice::kAlgorithm7)
+        .max_time(2e3);
+    rv::engine::RunnerOptions opts;
+    opts.threads = threads;
+    benchmark::DoNotOptimize(rv::engine::run_scenarios(set, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_EngineScenarioSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_RoundBound(benchmark::State& state) {
   double tau = 0.5;

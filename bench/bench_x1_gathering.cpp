@@ -62,15 +62,15 @@ int main() {
     auto factory = [] { return rendezvous::make_rendezvous_program(); };
 
     gather::GatherOptions contact_opts;
-    contact_opts.visibility = 0.2;
-    contact_opts.max_time = 1e5;
+    contact_opts.sweep.visibility = 0.2;
+    contact_opts.sweep.max_time = 1e5;
     contact_opts.mode = gather::GatherMode::kFirstContact;
     const auto contact =
         gather::simulate_gathering(factory, fleet.attrs, origins, contact_opts);
 
     gather::GatherOptions gather_opts = contact_opts;
     gather_opts.mode = gather::GatherMode::kAllPairsGathered;
-    gather_opts.max_time = 2e5;
+    gather_opts.sweep.max_time = 2e5;
     const auto gathered =
         gather::simulate_gathering(factory, fleet.attrs, origins, gather_opts);
 

@@ -3,16 +3,21 @@
 // geometry can separate them; only the *schedule* of Algorithm 7 can.
 //
 // Shows the phase schedule of both robots, the predicted round bound
-// k* (Lemma 13), runs the full simulation, and writes the Figure 1/3
-// style Gantt chart with the meeting instant marked.
+// k* (Lemma 13), runs a clock-ratio sweep through the parallel
+// `engine::Runner` (the requested tau plus context points, so the
+// tau → 1 blow-up is visible), and writes the Figure 1/3 style Gantt
+// chart with the meeting instant marked.
 //
 //   $ ./asymmetric_clocks [--tau 0.6] [--d 1.0] [--r 0.4]
 //                         [--svg clocks.svg]
 
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "analysis/bounds.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
 #include "io/args.hpp"
 #include "io/table.hpp"
 #include "mathx/binary.hpp"
@@ -80,14 +85,44 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout, "phase schedule (global time):");
 
-  // Run the real thing.
-  geom::RobotAttributes attrs;
-  attrs.time_unit = tau;
-  const auto outcome = rendezvous::run_universal(attrs, d, r, bound + 1.0);
-  if (!outcome.sim.met) {
-    std::cerr << "no meeting before the Lemma 14 bound — this is a bug\n";
-    return 1;
+  // Run the real thing — the requested tau plus context clock ratios,
+  // declared as one scenario set and fanned out by the engine runner.
+  std::vector<double> sweep_taus{tau};
+  for (const double t : {0.5, 0.75, 0.9}) {
+    if (t != tau) sweep_taus.push_back(t);
   }
+  engine::ScenarioSet set;
+  set.time_units(sweep_taus)
+      .distances({d})
+      .visibility(r)
+      .algorithm(rendezvous::AlgorithmChoice::kAlgorithm7)
+      .horizon([&](const rendezvous::Scenario& s) {
+        const double t = s.attrs.time_unit;
+        return analysis::theorem3_bound(t < 1.0 ? t : 1.0 / t, d, r) + 1.0;
+      });
+  const engine::ResultSet results = engine::run_scenarios(set);
+
+  io::Table sweep({"tau", "k*", "Lem 14 bound", "meet time", "% of bound"});
+  for (const engine::RunRecord& rec : results) {
+    const double rec_tau = rec.scenario.attrs.time_unit;
+    const double rec_norm = rec_tau < 1.0 ? rec_tau : 1.0 / rec_tau;
+    const double rec_bound = analysis::theorem3_bound(rec_norm, d, r);
+    if (!rec.outcome.sim.met) {
+      std::cerr << "no meeting before the Lemma 14 bound — this is a bug\n";
+      return 1;
+    }
+    sweep.add_row(
+        {io::format_fixed(rec_tau, 3),
+         std::to_string(rendezvous::rendezvous_round_bound(rec_norm, n)),
+         io::format_fixed(rec_bound, 1),
+         io::format_fixed(rec.outcome.sim.time, 2),
+         io::format_fixed(100.0 * rec.outcome.sim.time / rec_bound, 2) + "%"});
+  }
+  sweep.print(std::cout,
+              "\nclock-ratio sweep (first row = requested tau; note the "
+              "bound blow-up as tau -> 1):");
+
+  const auto& outcome = results[0].outcome;
   std::cout << "\nrendezvous at t = " << outcome.sim.time << " ("
             << io::format_fixed(100.0 * outcome.sim.time / bound, 2)
             << "% of the bound)\n";

@@ -71,8 +71,8 @@ int main(int argc, char** argv) {
   auto factory = [] { return rendezvous::make_rendezvous_program(); };
 
   gather::GatherOptions contact;
-  contact.visibility = r;
-  contact.max_time = horizon;
+  contact.sweep.visibility = r;
+  contact.sweep.max_time = horizon;
   contact.mode = gather::GatherMode::kFirstContact;
   const auto first = gather::simulate_gathering(factory, attrs, origins,
                                                 contact);

@@ -1,0 +1,186 @@
+#include "engine/contact_sweep.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace rv::engine {
+
+using geom::Vec2;
+using traj::TimedSegment;
+
+namespace {
+void validate_options(const SweepOptions& o) {
+  if (!(o.visibility > 0.0)) {
+    throw std::invalid_argument("ContactSweep: visibility must be > 0");
+  }
+  if (!(o.max_time > 0.0)) {
+    throw std::invalid_argument("ContactSweep: max_time must be > 0");
+  }
+  if (!(o.contact_tol >= 0.0) || !(o.time_tol > 0.0) || !(o.min_step > 0.0)) {
+    throw std::invalid_argument("ContactSweep: bad tolerances");
+  }
+}
+}  // namespace
+
+ContactSweep::ContactSweep(std::vector<RobotSpec> robots, SweepMetric metric,
+                           SweepOptions options)
+    : metric_(metric), opts_(options) {
+  validate_options(opts_);
+  if (robots.size() < 2) {
+    throw std::invalid_argument("ContactSweep: need >= 2 robots");
+  }
+  streams_.reserve(robots.size());
+  for (RobotSpec& spec : robots) {
+    if (!spec.program) {
+      throw std::invalid_argument("ContactSweep: null program");
+    }
+    streams_.emplace_back(std::move(spec.program), spec.attributes,
+                          spec.origin);
+  }
+}
+
+SweepResult ContactSweep::run() {
+  SweepResult res;
+  res.best_metric = std::numeric_limits<double>::infinity();
+  const std::size_t n = streams_.size();
+  const double r = opts_.visibility;
+
+  current_.clear();
+  current_.reserve(n);
+  for (auto& stream : streams_) {
+    current_.push_back(stream.next());
+    ++res.segments;
+  }
+  pos_.resize(n);
+
+  // The sweep metric over current positions; fills the extremal pair.
+  auto metric_of = [&](const std::vector<Vec2>& pos, int* out_i, int* out_j) {
+    if (metric_ == SweepMetric::kMinPairwise) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          const double d = geom::distance(pos[i], pos[j]);
+          if (d < best) {
+            best = d;
+            if (out_i) *out_i = static_cast<int>(i);
+            if (out_j) *out_j = static_cast<int>(j);
+          }
+        }
+      }
+      return best;
+    }
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double d = geom::distance(pos[i], pos[j]);
+        if (d > worst) {
+          worst = d;
+          if (out_i) *out_i = static_cast<int>(i);
+          if (out_j) *out_j = static_cast<int>(j);
+        }
+      }
+    }
+    return worst;
+  };
+
+  // Counted evaluation at a sweep/bisection point.
+  auto evaluate = [&](double at, int* out_i, int* out_j) {
+    for (std::size_t i = 0; i < n; ++i) pos_[i] = current_[i].position(at);
+    ++res.evals;
+    return metric_of(pos_, out_i, out_j);
+  };
+
+  // Final positions + metric (reporting only — not a counted eval).
+  auto finalize = [&](double at) {
+    res.positions.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      res.positions[i] = current_[i].position(at);
+    }
+    res.metric = metric_of(res.positions, nullptr, nullptr);
+  };
+
+  double t = 0.0;
+  double prev_t = 0.0;  // last evaluated time with metric > r
+  bool have_prev = false;
+
+  while (t < opts_.max_time && res.evals < opts_.max_evals) {
+    // Pull segments forward so every robot covers time t.
+    double window_end = opts_.max_time;
+    for (std::size_t i = 0; i < n; ++i) {
+      while (current_[i].t1 <= t) {
+        current_[i] = streams_[i].next();
+        ++res.segments;
+      }
+      window_end = std::min(window_end, current_[i].t1);
+    }
+
+    int mi = -1, mj = -1;
+    const double m = evaluate(t, &mi, &mj);
+    if (m < res.best_metric) {
+      res.best_metric = m;
+      res.best_metric_time = t;
+    }
+
+    if (m <= r + opts_.contact_tol) {
+      // Event (or a graze within tolerance).  If we are strictly inside
+      // the disk and have a previous outside point, bisect for the
+      // first crossing.
+      double event_time = t;
+      if (m < r && have_prev) {
+        double lo = prev_t, hi = t;
+        while (hi - lo > opts_.time_tol) {
+          const double mid = 0.5 * (lo + hi);
+          if (evaluate(mid, nullptr, nullptr) <= r) {
+            hi = mid;
+          } else {
+            lo = mid;
+          }
+        }
+        event_time = hi;
+      }
+      res.event = true;
+      res.time = event_time;
+      res.pair_i = mi;
+      res.pair_j = mj;
+      finalize(event_time);
+      return res;
+    }
+
+    prev_t = t;
+    have_prev = true;
+
+    // Certified advance: the metric is Lipschitz with constant
+    // L = max over pairs of (v_i + v_j) on this window, so it cannot
+    // reach r before t + (m − r)/L.
+    double lipschitz = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        lipschitz =
+            std::max(lipschitz, current_[i].speed() + current_[j].speed());
+      }
+    }
+    double step;
+    if (lipschitz <= 0.0) {
+      // Everybody stationary: the metric is constant until the window
+      // ends.
+      step = window_end - t;
+      if (step <= 0.0) step = opts_.min_step;
+    } else {
+      step = (m - r) / lipschitz;
+    }
+    step = std::max(step, opts_.min_step);
+    const double next_t = std::min(t + step, window_end);
+    // Always make progress even at window boundaries.
+    t = (next_t > t) ? next_t : t + opts_.min_step;
+  }
+
+  // Horizon or eval budget reached without the event.
+  res.event = false;
+  res.time = std::min(t, opts_.max_time);
+  finalize(res.time);
+  return res;
+}
+
+}  // namespace rv::engine

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file contact_sweep.hpp
+/// The certified first-contact sweep — the single implementation of the
+/// Lipschitz-step/bisection argument shared by every simulator in the
+/// repository.
+///
+/// Between trajectory breakpoints each robot moves along one primitive,
+/// so every pairwise separation d_ij(t) is Lipschitz with constant
+/// v_i + v_j (the sum of the traversal speeds on the current
+/// primitives).  Consequently both sweep metrics
+///   * min over pairs of d_ij  (first contact / 2-robot rendezvous) and
+///   * max over pairs of d_ij  (all-pairs gathering)
+/// are Lipschitz with constant  L = max over pairs of (v_i + v_j), and
+/// the sweep may advance by Δt = (metric − r)/L — the largest step that
+/// provably cannot skip a crossing — then refine by bisection once the
+/// metric dips below r.  This yields *certified* event times up to a
+/// tolerance, without trusting any fixed sampling grid.
+///
+/// Tangential touches shallower than L·min_step can be passed over (a
+/// Zeno guard forces progress); all experiments in this repository
+/// involve transversal crossings, and `contact_tol` absorbs grazing
+/// contacts to within 1e−9 world units.
+///
+/// `sim::TwoRobotSimulator` (2-robot rendezvous) and
+/// `gather::MultiRobotSimulator` (n-robot gathering) are thin adapters
+/// over this class; neither carries its own stepping logic.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/attributes.hpp"
+#include "traj/frame.hpp"
+#include "traj/program.hpp"
+
+namespace rv::engine {
+
+/// One robot: a local program, hidden attributes, and a global origin.
+struct RobotSpec {
+  std::shared_ptr<traj::Program> program;
+  geom::RobotAttributes attributes;
+  geom::Vec2 origin;
+};
+
+/// The shared sweep controls.  `sim::SimOptions` is an alias of this
+/// struct, and `gather::GatherOptions` embeds it, so every simulator in
+/// the repository consumes the same tolerance knobs.
+struct SweepOptions {
+  double visibility = 1.0;      ///< r > 0: event at metric ≤ r
+  double max_time = 1e9;        ///< give-up horizon (global time)
+  double contact_tol = 1e-9;    ///< accept the event when metric ≤ r + contact_tol
+  double time_tol = 1e-9;       ///< bisection tolerance on the event time
+  double min_step = 1e-9;       ///< Zeno guard: forced progress per step
+  std::uint64_t max_evals = 500'000'000;  ///< hard cap on metric evaluations
+};
+
+/// Which pairwise statistic the sweep watches for the event metric ≤ r.
+enum class SweepMetric {
+  kMinPairwise,  ///< any pair within r (first contact / rendezvous)
+  kMaxPairwise,  ///< every pair within r simultaneously (gathering)
+};
+
+/// Outcome of a sweep.
+struct SweepResult {
+  bool event = false;        ///< true iff the metric reached r before max_time
+  double time = 0.0;         ///< certified event time (or the horizon)
+  double metric = 0.0;       ///< metric value at `time`
+  double best_metric = 0.0;  ///< smallest metric seen at sweep evaluations
+  double best_metric_time = 0.0;  ///< when the best metric was seen
+  int pair_i = -1;           ///< extremal pair at the triggering evaluation
+  int pair_j = -1;
+  std::vector<geom::Vec2> positions;  ///< all robot positions at `time`
+  std::uint64_t evals = 0;     ///< metric evaluations performed
+  std::uint64_t segments = 0;  ///< timed segments consumed (all robots)
+};
+
+/// Sweeps n ≥ 2 robots forward in global time and reports the first
+/// time the chosen pairwise metric reaches the visibility radius.
+class ContactSweep {
+ public:
+  /// \throws std::invalid_argument for fewer than 2 robots, null
+  /// programs, or bad options.
+  ContactSweep(std::vector<RobotSpec> robots, SweepMetric metric,
+               SweepOptions options);
+
+  /// Runs until the event or the horizon; single use (the segment
+  /// streams are consumed).
+  [[nodiscard]] SweepResult run();
+
+  /// Number of robots.
+  [[nodiscard]] std::size_t size() const { return streams_.size(); }
+
+ private:
+  std::vector<traj::GlobalSegmentStream> streams_;
+  std::vector<traj::TimedSegment> current_;
+  std::vector<geom::Vec2> pos_;
+  SweepMetric metric_;
+  SweepOptions opts_;
+};
+
+}  // namespace rv::engine

@@ -1,0 +1,211 @@
+#include "engine/runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "rendezvous/feasibility.hpp"
+
+namespace rv::engine {
+
+namespace {
+
+constexpr const char* kStandardColumns[] = {
+    "v",   "tau", "phi",  "chi",      "d",            "r",     "algorithm",
+    "feasible", "met", "time", "distance", "min_distance", "evals", "segments"};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ResultSet::ResultSet(std::vector<RunRecord> records)
+    : records_(std::move(records)) {
+  for (const RunRecord& rec : records_) {
+    if (!rec.label.empty()) {
+      any_label_ = true;
+      break;
+    }
+  }
+}
+
+bool ResultSet::all_met() const {
+  for (const RunRecord& rec : records_) {
+    if (!rec.outcome.sim.met) return false;
+  }
+  return true;
+}
+
+io::CsvRow ResultSet::csv_header(const std::vector<Column>& extras) const {
+  io::CsvRow header;
+  if (any_label_) header.push_back("label");
+  for (const char* name : kStandardColumns) header.push_back(name);
+  for (const Column& col : extras) header.push_back(col.name);
+  return header;
+}
+
+std::vector<io::CsvRow> ResultSet::csv_rows(
+    const std::vector<Column>& extras) const {
+  std::vector<io::CsvRow> rows;
+  rows.reserve(records_.size());
+  for (const RunRecord& rec : records_) {
+    const rendezvous::Scenario& s = rec.scenario;
+    const sim::SimResult& sim = rec.outcome.sim;
+    io::CsvRow row;
+    if (any_label_) row.push_back(rec.label);
+    row.push_back(io::format_double(s.attrs.speed));
+    row.push_back(io::format_double(s.attrs.time_unit));
+    row.push_back(io::format_double(s.attrs.orientation));
+    row.push_back(std::to_string(s.attrs.chirality));
+    row.push_back(io::format_double(rec.outcome.initial_distance));
+    row.push_back(io::format_double(s.visibility));
+    row.push_back(rec.outcome.algorithm_name);
+    row.push_back(rendezvous::is_feasible(rec.outcome.feasibility) ? "1"
+                                                                   : "0");
+    row.push_back(sim.met ? "1" : "0");
+    row.push_back(io::format_double(sim.time));
+    row.push_back(io::format_double(sim.distance));
+    row.push_back(io::format_double(sim.min_distance));
+    row.push_back(std::to_string(sim.evals));
+    row.push_back(std::to_string(sim.segments));
+    for (const Column& col : extras) row.push_back(col.value(rec));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string ResultSet::to_csv(const std::vector<Column>& extras) const {
+  std::ostringstream os;
+  io::CsvWriter writer(os);
+  writer.header(csv_header(extras));
+  for (const io::CsvRow& row : csv_rows(extras)) writer.row(row);
+  return os.str();
+}
+
+std::string ResultSet::to_json(const std::vector<Column>& extras) const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const RunRecord& rec = records_[i];
+    const rendezvous::Scenario& s = rec.scenario;
+    const sim::SimResult& sim = rec.outcome.sim;
+    os << (i == 0 ? "\n" : ",\n") << "  {";
+    if (any_label_) os << "\"label\": \"" << json_escape(rec.label) << "\", ";
+    os << "\"v\": " << io::format_double(s.attrs.speed)
+       << ", \"tau\": " << io::format_double(s.attrs.time_unit)
+       << ", \"phi\": " << io::format_double(s.attrs.orientation)
+       << ", \"chi\": " << s.attrs.chirality
+       << ", \"d\": " << io::format_double(rec.outcome.initial_distance)
+       << ", \"r\": " << io::format_double(s.visibility)
+       << ", \"algorithm\": \"" << json_escape(rec.outcome.algorithm_name)
+       << "\", \"feasible\": "
+       << (rendezvous::is_feasible(rec.outcome.feasibility) ? "true" : "false")
+       << ", \"met\": " << (sim.met ? "true" : "false")
+       << ", \"time\": " << io::format_double(sim.time)
+       << ", \"distance\": " << io::format_double(sim.distance)
+       << ", \"min_distance\": " << io::format_double(sim.min_distance)
+       << ", \"evals\": " << sim.evals << ", \"segments\": " << sim.segments;
+    for (const Column& col : extras) {
+      os << ", \"" << json_escape(col.name) << "\": \""
+         << json_escape(col.value(rec)) << "\"";
+    }
+    os << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+io::Table ResultSet::to_table(const std::vector<Column>& extras,
+                              int precision) const {
+  std::vector<std::string> names;
+  if (any_label_) names.push_back("label");
+  for (const char* name : kStandardColumns) names.push_back(name);
+  for (const Column& col : extras) names.push_back(col.name);
+  io::Table table(std::move(names));
+  if (any_label_) table.set_align(0, io::Align::kLeft);
+  for (const RunRecord& rec : records_) {
+    const rendezvous::Scenario& s = rec.scenario;
+    const sim::SimResult& sim = rec.outcome.sim;
+    std::vector<std::string> row;
+    if (any_label_) row.push_back(rec.label);
+    row.push_back(io::format_fixed(s.attrs.speed, 2));
+    row.push_back(io::format_fixed(s.attrs.time_unit, 3));
+    row.push_back(io::format_fixed(s.attrs.orientation, 3));
+    row.push_back(std::to_string(s.attrs.chirality));
+    row.push_back(io::format_fixed(rec.outcome.initial_distance, 2));
+    row.push_back(io::format_fixed(s.visibility, 3));
+    row.push_back(rec.outcome.algorithm_name);
+    row.push_back(rendezvous::is_feasible(rec.outcome.feasibility)
+                      ? "feasible"
+                      : "INFEASIBLE");
+    row.push_back(sim.met ? "yes" : "no");
+    row.push_back(io::format_fixed(sim.time, precision));
+    row.push_back(io::format_fixed(sim.distance, precision));
+    row.push_back(io::format_fixed(sim.min_distance, precision));
+    row.push_back(std::to_string(sim.evals));
+    row.push_back(std::to_string(sim.segments));
+    for (const Column& col : extras) row.push_back(col.value(rec));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+ResultSet run_scenarios(const std::vector<LabeledScenario>& scenarios,
+                        RunnerOptions options) {
+  const std::size_t n = scenarios.size();
+  std::vector<RunRecord> records(n);
+  std::vector<std::exception_ptr> errors(n);
+
+  unsigned threads =
+      options.threads ? options.threads : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (threads > n) threads = static_cast<unsigned>(n);
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      const LabeledScenario& ls = scenarios[i];
+      try {
+        records[i] = RunRecord{ls.scenario, ls.label,
+                               rendezvous::run_scenario(ls.scenario)};
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  return ResultSet(std::move(records));
+}
+
+ResultSet run_scenarios(const ScenarioSet& set, RunnerOptions options) {
+  return run_scenarios(set.materialize(), options);
+}
+
+}  // namespace rv::engine

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file runner.hpp
+/// Deterministic parallel execution of a `ScenarioSet` and structured
+/// aggregation of the outcomes.
+///
+/// `run_scenarios` materialises the set, fans the scenarios out across
+/// a pool of worker threads (work-stealing by atomic index), and stores
+/// each `rendezvous::Outcome` at its scenario's index.  Because results
+/// are placed by index — never by completion order — and every emitter
+/// formats through the deterministic `io` helpers, the rendered table,
+/// CSV and JSON are **byte-identical regardless of thread count**.
+/// Scenario runs are independent (the library keeps no global mutable
+/// state), so the sweep parallelises embarrassingly.
+///
+/// `ResultSet` is the io::Table-backed aggregate: standard columns for
+/// the scenario axes and outcome, plus caller-supplied derived columns
+/// (bounds, ratios, certificates) computed from each record.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/scenario_set.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "rendezvous/core.hpp"
+
+namespace rv::engine {
+
+/// Parallelism controls.
+struct RunnerOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned threads = 0;
+};
+
+/// One executed scenario: what ran and what happened.
+struct RunRecord {
+  rendezvous::Scenario scenario;
+  std::string label;
+  rendezvous::Outcome outcome;
+};
+
+/// A derived column: name plus a per-record formatter.
+struct Column {
+  std::string name;
+  std::function<std::string(const RunRecord&)> value;
+};
+
+/// Ordered, structured results of a sweep with table/CSV/JSON emission.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(std::vector<RunRecord> records);
+
+  [[nodiscard]] const std::vector<RunRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] auto begin() const { return records_.begin(); }
+  [[nodiscard]] auto end() const { return records_.end(); }
+  [[nodiscard]] const RunRecord& operator[](std::size_t i) const {
+    return records_[i];
+  }
+
+  /// True iff every scenario met before its horizon.
+  [[nodiscard]] bool all_met() const;
+
+  /// The standard column names (label only when any record has one),
+  /// followed by the extras.
+  [[nodiscard]] io::CsvRow csv_header(
+      const std::vector<Column>& extras = {}) const;
+  /// One CSV row per record, same order as `records()`.
+  [[nodiscard]] std::vector<io::CsvRow> csv_rows(
+      const std::vector<Column>& extras = {}) const;
+  /// Full CSV document (header + rows).
+  [[nodiscard]] std::string to_csv(
+      const std::vector<Column>& extras = {}) const;
+  /// JSON array of row objects keyed by column name; numeric fields are
+  /// emitted as JSON numbers, met/feasible as booleans.
+  [[nodiscard]] std::string to_json(
+      const std::vector<Column>& extras = {}) const;
+  /// io::Table with the standard + extra columns (for console reports).
+  [[nodiscard]] io::Table to_table(const std::vector<Column>& extras = {},
+                                   int precision = 4) const;
+
+ private:
+  std::vector<RunRecord> records_;
+  bool any_label_ = false;
+};
+
+/// Runs every scenario in the set and aggregates the outcomes in
+/// scenario order.  Worker exceptions are re-thrown (first by index)
+/// after the pool joins.
+[[nodiscard]] ResultSet run_scenarios(const ScenarioSet& set,
+                                      RunnerOptions options = {});
+
+/// Same, for an already-materialised list.
+[[nodiscard]] ResultSet run_scenarios(
+    const std::vector<LabeledScenario>& scenarios, RunnerOptions options = {});
+
+}  // namespace rv::engine

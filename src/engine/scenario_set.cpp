@@ -1,0 +1,140 @@
+#include "engine/scenario_set.hpp"
+
+#include <utility>
+
+namespace rv::engine {
+
+ScenarioSet& ScenarioSet::add(rendezvous::Scenario scenario,
+                              std::string label) {
+  explicit_.push_back({std::move(scenario), std::move(label)});
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::speeds(std::vector<double> values) {
+  speeds_ = std::move(values);
+  has_grid_ = true;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::time_units(std::vector<double> values) {
+  time_units_ = std::move(values);
+  has_grid_ = true;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::orientations(std::vector<double> values) {
+  orientations_ = std::move(values);
+  has_grid_ = true;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::chiralities(std::vector<int> values) {
+  chiralities_ = std::move(values);
+  has_grid_ = true;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::offsets(std::vector<geom::Vec2> values) {
+  offsets_ = std::move(values);
+  has_grid_ = true;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::distances(std::vector<double> values) {
+  std::vector<geom::Vec2> offs;
+  offs.reserve(values.size());
+  for (const double d : values) offs.push_back({d, 0.0});
+  return offsets(std::move(offs));
+}
+
+ScenarioSet& ScenarioSet::base(rendezvous::Scenario base_scenario) {
+  base_ = std::move(base_scenario);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::visibility(double r) {
+  base_.visibility = r;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::algorithm(rendezvous::AlgorithmChoice choice) {
+  base_.algorithm = choice;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::max_time(double horizon) {
+  base_.max_time = horizon;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::horizon(
+    std::function<double(const rendezvous::Scenario&)> horizon_fn) {
+  horizon_fn_ = std::move(horizon_fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::filter(
+    std::function<bool(const rendezvous::Scenario&)> keep_fn) {
+  keep_fn_ = std::move(keep_fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::label(
+    std::function<std::string(const rendezvous::Scenario&)> label_fn) {
+  label_fn_ = std::move(label_fn);
+  return *this;
+}
+
+std::vector<LabeledScenario> ScenarioSet::materialize() const {
+  std::vector<LabeledScenario> out;
+
+  auto emit = [&](rendezvous::Scenario s, std::string label) {
+    // Filter first: horizon rules (e.g. theorem bounds) need not be
+    // well defined on dropped cells such as infeasible corners.
+    if (keep_fn_ && !keep_fn_(s)) return;
+    if (horizon_fn_) s.max_time = horizon_fn_(s);
+    if (label.empty() && label_fn_) label = label_fn_(s);
+    out.push_back({std::move(s), std::move(label)});
+  };
+
+  for (const LabeledScenario& ls : explicit_) emit(ls.scenario, ls.label);
+
+  if (!has_grid_) return out;
+
+  // Unset axes contribute the base value, so the nesting below always
+  // covers the full cross product.
+  const std::vector<double> vs =
+      speeds_.empty() ? std::vector<double>{base_.attrs.speed} : speeds_;
+  const std::vector<double> taus =
+      time_units_.empty() ? std::vector<double>{base_.attrs.time_unit}
+                          : time_units_;
+  const std::vector<double> phis =
+      orientations_.empty() ? std::vector<double>{base_.attrs.orientation}
+                            : orientations_;
+  const std::vector<int> chis =
+      chiralities_.empty() ? std::vector<int>{base_.attrs.chirality}
+                           : chiralities_;
+  const std::vector<geom::Vec2> offs =
+      offsets_.empty() ? std::vector<geom::Vec2>{base_.offset} : offsets_;
+
+  for (const double v : vs) {
+    for (const double tau : taus) {
+      for (const double phi : phis) {
+        for (const int chi : chis) {
+          for (const geom::Vec2& off : offs) {
+            rendezvous::Scenario s = base_;
+            s.attrs.speed = v;
+            s.attrs.time_unit = tau;
+            s.attrs.orientation = phi;
+            s.attrs.chirality = chi;
+            s.offset = off;
+            emit(std::move(s), "");
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rv::engine

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file scenario_set.hpp
+/// Declarative description of a batch of rendezvous scenarios.
+///
+/// Every experiment in the paper is a parameter sweep over
+/// `rendezvous::Scenario`s — a grid over hidden attributes (v, τ, φ, χ)
+/// and starting offsets, or an explicit list of interesting cells.
+/// `ScenarioSet` captures that sweep as *data*: axes for the four
+/// attributes and the offset, base knobs (r, algorithm, horizon), an
+/// optional per-scenario horizon rule (e.g. "theorem bound + slack"), a
+/// cell filter (e.g. "drop the infeasible corner"), and a labeller.
+///
+/// Grid cells are materialised in a fixed documented nesting —
+///   speeds ⊃ time_units ⊃ orientations ⊃ chiralities ⊃ offsets
+/// (speeds outermost) — after any explicitly `add`ed scenarios, so the
+/// order (and therefore every downstream table/CSV) is deterministic.
+///
+/// Run a set with `engine::run_scenarios` (runner.hpp), which fans the
+/// scenarios out across a thread pool and aggregates the outcomes.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "rendezvous/core.hpp"
+
+namespace rv::engine {
+
+/// One materialised scenario plus its display label.
+struct LabeledScenario {
+  rendezvous::Scenario scenario;
+  std::string label;
+};
+
+/// A declarative grid/list of scenarios.  All setters return *this for
+/// fluent declaration-style use.
+class ScenarioSet {
+ public:
+  ScenarioSet() = default;
+
+  /// Appends one explicit scenario (kept before the grid cells, in
+  /// insertion order).  The horizon/filter/label hooks apply to these
+  /// too.
+  ScenarioSet& add(rendezvous::Scenario scenario, std::string label = "");
+
+  // --- grid axes (an unset axis contributes the base value) ------------
+  ScenarioSet& speeds(std::vector<double> values);
+  ScenarioSet& time_units(std::vector<double> values);
+  ScenarioSet& orientations(std::vector<double> values);
+  ScenarioSet& chiralities(std::vector<int> values);
+  ScenarioSet& offsets(std::vector<geom::Vec2> values);
+  /// Sugar: offsets {d, 0} for each distance.
+  ScenarioSet& distances(std::vector<double> values);
+
+  // --- base knobs applied to every grid cell ---------------------------
+  ScenarioSet& base(rendezvous::Scenario base_scenario);
+  ScenarioSet& visibility(double r);
+  ScenarioSet& algorithm(rendezvous::AlgorithmChoice choice);
+  ScenarioSet& max_time(double horizon);
+
+  // --- per-scenario hooks ----------------------------------------------
+  /// Horizon override evaluated per materialised scenario (e.g. a
+  /// theorem bound plus slack).
+  ScenarioSet& horizon(
+      std::function<double(const rendezvous::Scenario&)> horizon_fn);
+  /// Keep-predicate; cells where it returns false are dropped (e.g. the
+  /// infeasible corner of an attribute grid).
+  ScenarioSet& filter(
+      std::function<bool(const rendezvous::Scenario&)> keep_fn);
+  /// Label generator applied when no explicit label was given.
+  ScenarioSet& label(
+      std::function<std::string(const rendezvous::Scenario&)> label_fn);
+
+  /// Expands the declaration into the concrete scenario list.
+  [[nodiscard]] std::vector<LabeledScenario> materialize() const;
+
+ private:
+  std::vector<LabeledScenario> explicit_;
+  std::vector<double> speeds_;
+  std::vector<double> time_units_;
+  std::vector<double> orientations_;
+  std::vector<int> chiralities_;
+  std::vector<geom::Vec2> offsets_;
+  rendezvous::Scenario base_;
+  bool has_grid_ = false;
+  std::function<double(const rendezvous::Scenario&)> horizon_fn_;
+  std::function<bool(const rendezvous::Scenario&)> keep_fn_;
+  std::function<std::string(const rendezvous::Scenario&)> label_fn_;
+};
+
+}  // namespace rv::engine

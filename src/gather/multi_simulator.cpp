@@ -1,7 +1,5 @@
 #include "gather/multi_simulator.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -9,148 +7,31 @@
 namespace rv::gather {
 
 using geom::Vec2;
-using traj::TimedSegment;
 
 MultiRobotSimulator::MultiRobotSimulator(std::vector<sim::RobotSpec> robots,
                                          GatherOptions options)
-    : opts_(options) {
-  if (robots.size() < 2) {
-    throw std::invalid_argument("MultiRobotSimulator: need >= 2 robots");
-  }
-  if (!(opts_.visibility > 0.0) || !(opts_.max_time > 0.0) ||
-      !(opts_.min_step > 0.0)) {
-    throw std::invalid_argument("MultiRobotSimulator: bad options");
-  }
-  streams_.reserve(robots.size());
-  for (sim::RobotSpec& spec : robots) {
-    if (!spec.program) {
-      throw std::invalid_argument("MultiRobotSimulator: null program");
-    }
-    streams_.emplace_back(std::move(spec.program), spec.attributes,
-                          spec.origin);
-  }
-}
+    : sweep_(std::move(robots),
+             options.mode == GatherMode::kFirstContact
+                 ? engine::SweepMetric::kMinPairwise
+                 : engine::SweepMetric::kMaxPairwise,
+             options.sweep),
+      mode_(options.mode) {}
 
 GatherResult MultiRobotSimulator::run() {
+  const engine::SweepResult swept = sweep_.run();
   GatherResult res;
-  res.min_max_pairwise = std::numeric_limits<double>::infinity();
-  const std::size_t n = streams_.size();
-  const double r = opts_.visibility;
-
-  current_.clear();
-  current_.reserve(n);
-  for (auto& stream : streams_) {
-    current_.push_back(stream.next());
-    ++res.segments;
-  }
-
-  double t = 0.0;
-  double prev_t = 0.0;
-  bool have_prev = false;
-
-  // Positions and the pair metric at time `at`.
-  std::vector<Vec2> pos(n);
-  auto evaluate = [&](double at, int* out_i, int* out_j) {
-    for (std::size_t i = 0; i < n; ++i) pos[i] = current_[i].position(at);
-    ++res.evals;
-    if (opts_.mode == GatherMode::kFirstContact) {
-      // Metric: min pairwise distance (event when ≤ r).
-      double best = std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = i + 1; j < n; ++j) {
-          const double d = geom::distance(pos[i], pos[j]);
-          if (d < best) {
-            best = d;
-            if (out_i) *out_i = static_cast<int>(i);
-            if (out_j) *out_j = static_cast<int>(j);
-          }
-        }
-      }
-      return best;
-    }
-    // Metric: max pairwise distance (event when ≤ r).
-    double worst = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double d = geom::distance(pos[i], pos[j]);
-        if (d > worst) {
-          worst = d;
-          if (out_i) *out_i = static_cast<int>(i);
-          if (out_j) *out_j = static_cast<int>(j);
-        }
-      }
-    }
-    return worst;
-  };
-
-  while (t < opts_.max_time && res.evals < opts_.max_evals) {
-    double window_end = opts_.max_time;
-    for (std::size_t i = 0; i < n; ++i) {
-      while (current_[i].t1 <= t) {
-        current_[i] = streams_[i].next();
-        ++res.segments;
-      }
-      window_end = std::min(window_end, current_[i].t1);
-    }
-
-    int mi = -1, mj = -1;
-    const double metric = evaluate(t, &mi, &mj);
-    if (opts_.mode == GatherMode::kAllPairsGathered &&
-        metric < res.min_max_pairwise) {
-      res.min_max_pairwise = metric;
-    }
-
-    if (metric <= r + opts_.contact_tol) {
-      double event_time = t;
-      if (metric < r && have_prev) {
-        // Bisect for the first time the metric reaches r.
-        double lo = prev_t, hi = t;
-        while (hi - lo > opts_.min_step) {
-          const double mid = 0.5 * (lo + hi);
-          if (evaluate(mid, nullptr, nullptr) <= r) {
-            hi = mid;
-          } else {
-            lo = mid;
-          }
-        }
-        event_time = hi;
-      }
-      res.achieved = true;
-      res.time = event_time;
-      res.pair_i = mi;
-      res.pair_j = mj;
-      res.max_pairwise = evaluate(event_time, nullptr, nullptr);
-      return res;
-    }
-
-    prev_t = t;
-    have_prev = true;
-
-    // Certified step.  For first contact: the minimum separation is
-    // Lipschitz with at most the largest pair speed sum.  For
-    // gathering: so is the maximum separation.
-    double speed_sum_max = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        speed_sum_max = std::max(
-            speed_sum_max, current_[i].speed() + current_[j].speed());
-      }
-    }
-    double step;
-    if (speed_sum_max <= 0.0) {
-      step = window_end - t;
-      if (step <= 0.0) step = opts_.min_step;
-    } else {
-      step = (metric - r) / speed_sum_max;
-    }
-    step = std::max(step, opts_.min_step);
-    const double next_t = std::min(t + step, window_end);
-    t = next_t > t ? next_t : t + opts_.min_step;
-  }
-
-  res.achieved = false;
-  res.time = std::min(t, opts_.max_time);
-  res.max_pairwise = evaluate(res.time, nullptr, nullptr);
+  res.achieved = swept.event;
+  res.time = swept.time;
+  res.pair_i = swept.pair_i;
+  res.pair_j = swept.pair_j;
+  res.max_pairwise = swept.metric;
+  // The min-of-max diagnostic only makes sense for the gathering
+  // metric; for first contact it stays at +inf (historical behaviour).
+  res.min_max_pairwise = mode_ == GatherMode::kAllPairsGathered
+                             ? swept.best_metric
+                             : std::numeric_limits<double>::infinity();
+  res.evals = swept.evals;
+  res.segments = swept.segments;
   return res;
 }
 

@@ -5,18 +5,17 @@
 /// challenging to solve deterministic gathering for multiple robots in
 /// this setting of minimal knowledge", Section 5).
 ///
-/// This module extends the certified two-robot sweep to N robots and
-/// two notions of success:
+/// This module presents the shared certified sweep
+/// (`engine::ContactSweep`) for N robots and two notions of success:
 ///  * **pairwise gathering** — the first time every pair is within r
-///    (the robots can all see each other);
+///    (the robots can all see each other) — the max-pairwise metric;
 ///  * **first contact** — the first time *any* pair is within r (the
-///    natural induction step for merge-based gathering protocols).
+///    natural induction step for merge-based gathering protocols) — the
+///    min-pairwise metric.
 ///
 /// The stepping argument generalises: every pairwise separation is
-/// Lipschitz with constant vᵢ + vⱼ, so
-///     Δt = min over unmet pairs of (d_ij − r)/(vᵢ + vⱼ)
-/// cannot skip any pair's first crossing.  For the gathering event the
-/// sweep tracks the *largest* pairwise distance instead.
+/// Lipschitz with constant vᵢ + vⱼ, so the sweep advances by the
+/// largest certified step (see engine/contact_sweep.hpp).
 ///
 /// The experiments built on this (bench_x1_gathering) are exploratory:
 /// the paper proves nothing about N > 2, and the measured outcomes are
@@ -26,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "engine/contact_sweep.hpp"
 #include "sim/simulator.hpp"
 #include "traj/frame.hpp"
 #include "traj/program.hpp"
@@ -38,14 +38,12 @@ enum class GatherMode {
   kAllPairsGathered,   ///< every pair within r simultaneously
 };
 
-/// Controls for the N-robot sweep.
+/// Controls for the N-robot sweep.  The tolerance/visibility knobs are
+/// the *shared* `sim::SimOptions` (= `engine::SweepOptions`) consumed
+/// by every simulator — this struct no longer re-declares its own.
 struct GatherOptions {
-  double visibility = 1.0;   ///< r
-  double max_time = 1e7;     ///< horizon
+  sim::SimOptions sweep;  ///< r, horizon, tolerances, eval budget
   GatherMode mode = GatherMode::kAllPairsGathered;
-  double contact_tol = 1e-9;
-  double min_step = 1e-9;
-  std::uint64_t max_evals = 500'000'000;
 };
 
 /// Sweep outcome.
@@ -54,14 +52,15 @@ struct GatherResult {
   double time = 0.0;         ///< event time (or horizon)
   int pair_i = -1;           ///< for kFirstContact: the meeting pair
   int pair_j = -1;
-  double max_pairwise = 0.0;      ///< max pairwise distance at `time`
+  double max_pairwise = 0.0;      ///< sweep metric at `time`
   double min_max_pairwise = 0.0;  ///< smallest max-pairwise seen (diagnostic)
   std::uint64_t evals = 0;
   std::uint64_t segments = 0;
 };
 
 /// Certified N-robot sweep.  All robots run their own (independent)
-/// programs with their own attributes and origins.
+/// programs with their own attributes and origins.  Thin adapter over
+/// `engine::ContactSweep`.
 class MultiRobotSimulator {
  public:
   /// \throws std::invalid_argument for fewer than 2 robots, null
@@ -73,12 +72,11 @@ class MultiRobotSimulator {
   [[nodiscard]] GatherResult run();
 
   /// Number of robots.
-  [[nodiscard]] std::size_t size() const { return streams_.size(); }
+  [[nodiscard]] std::size_t size() const { return sweep_.size(); }
 
  private:
-  std::vector<traj::GlobalSegmentStream> streams_;
-  std::vector<traj::TimedSegment> current_;
-  GatherOptions opts_;
+  engine::ContactSweep sweep_;
+  GatherMode mode_;
 };
 
 /// Convenience: N robots running (their own copies of) the same

@@ -1,133 +1,40 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace rv::sim {
 
 using geom::Vec2;
-using traj::TimedSegment;
 
 namespace {
-void validate_options(const SimOptions& o) {
-  if (!(o.visibility > 0.0)) {
-    throw std::invalid_argument("SimOptions: visibility must be > 0");
-  }
-  if (!(o.max_time > 0.0)) {
-    throw std::invalid_argument("SimOptions: max_time must be > 0");
-  }
-  if (!(o.contact_tol >= 0.0) || !(o.time_tol > 0.0) || !(o.min_step > 0.0)) {
-    throw std::invalid_argument("SimOptions: bad tolerances");
-  }
+std::vector<RobotSpec> pair_of(RobotSpec a, RobotSpec b) {
+  std::vector<RobotSpec> robots;
+  robots.reserve(2);
+  robots.push_back(std::move(a));
+  robots.push_back(std::move(b));
+  return robots;
 }
 }  // namespace
 
 TwoRobotSimulator::TwoRobotSimulator(RobotSpec robot1, RobotSpec robot2,
                                      SimOptions options)
-    : stream1_(std::move(robot1.program), robot1.attributes, robot1.origin),
-      stream2_(std::move(robot2.program), robot2.attributes, robot2.origin),
-      opts_(options) {
-  validate_options(opts_);
-}
+    : sweep_(pair_of(std::move(robot1), std::move(robot2)),
+             engine::SweepMetric::kMinPairwise, options) {}
 
 SimResult TwoRobotSimulator::run() {
+  const engine::SweepResult swept = sweep_.run();
   SimResult res;
-  res.min_distance = std::numeric_limits<double>::infinity();
-
-  TimedSegment seg1 = stream1_.next();
-  TimedSegment seg2 = stream2_.next();
-  res.segments += 2;
-
-  double t = 0.0;
-  const double r = opts_.visibility;
-
-  auto separation = [&](double at) {
-    ++res.evals;
-    return geom::distance(seg1.position(at), seg2.position(at));
-  };
-
-  auto note_min = [&res](double d, double at) {
-    if (d < res.min_distance) {
-      res.min_distance = d;
-      res.min_distance_time = at;
-    }
-  };
-
-  double prev_t = 0.0;   // last evaluated time with separation > r
-  bool have_prev = false;
-
-  while (t < opts_.max_time && res.evals < opts_.max_evals) {
-    // Pull segments forward so both cover time t.
-    while (seg1.t1 <= t) {
-      seg1 = stream1_.next();
-      ++res.segments;
-    }
-    while (seg2.t1 <= t) {
-      seg2 = stream2_.next();
-      ++res.segments;
-    }
-    const double window_end =
-        std::min({seg1.t1, seg2.t1, opts_.max_time});
-
-    const double d = separation(t);
-    note_min(d, t);
-
-    if (d <= r + opts_.contact_tol) {
-      // Contact (or a graze within tolerance).  If we are strictly
-      // inside the disk and have a previous outside point, bisect for
-      // the first crossing.
-      double contact_time = t;
-      if (d < r && have_prev) {
-        double lo = prev_t, hi = t;
-        while (hi - lo > opts_.time_tol) {
-          const double mid = 0.5 * (lo + hi);
-          const double dm = separation(mid);
-          if (dm <= r) {
-            hi = mid;
-          } else {
-            lo = mid;
-          }
-        }
-        contact_time = hi;
-      }
-      res.met = true;
-      res.time = contact_time;
-      res.position1 = seg1.position(contact_time);
-      res.position2 = seg2.position(contact_time);
-      res.distance = geom::distance(res.position1, res.position2);
-      return res;
-    }
-
-    prev_t = t;
-    have_prev = true;
-
-    // Certified advance: the separation is Lipschitz with constant
-    // L = v1 + v2 on this window, so it cannot reach r before
-    // t + (d − r)/L.
-    const double speed_sum = seg1.speed() + seg2.speed();
-    double step;
-    if (speed_sum <= 0.0) {
-      // Both stationary: separation constant until the window ends.
-      step = window_end - t;
-      if (step <= 0.0) step = opts_.min_step;
-    } else {
-      step = (d - r) / speed_sum;
-    }
-    step = std::max(step, opts_.min_step);
-    const double next_t = std::min(t + step, window_end);
-    // Always make progress even at window boundaries.
-    t = (next_t > t) ? next_t : t + opts_.min_step;
-  }
-
-  // Horizon or eval budget reached without contact.
-  res.met = false;
-  res.time = std::min(t, opts_.max_time);
-  res.position1 = seg1.position(res.time);
-  res.position2 = seg2.position(res.time);
-  res.distance = geom::distance(res.position1, res.position2);
+  res.met = swept.event;
+  res.time = swept.time;
+  res.distance = swept.metric;
+  res.min_distance = swept.best_metric;
+  res.min_distance_time = swept.best_metric_time;
+  res.position1 = swept.positions[0];
+  res.position2 = swept.positions[1];
+  res.evals = swept.evals;
+  res.segments = swept.segments;
   return res;
 }
 

@@ -1,29 +1,22 @@
 #pragma once
 
 /// \file simulator.hpp
-/// Continuous-time rendezvous simulation with certified first-contact
-/// detection.
+/// Continuous-time two-robot rendezvous simulation with certified
+/// first-contact detection.
 ///
 /// The rendezvous event of the paper is the first global time t with
-/// |p₁(t) − p₂(t)| ≤ r.  Between trajectory breakpoints both robots
-/// move along a single primitive each, so the separation function
-/// f(t) = |p₁(t) − p₂(t)| is Lipschitz with constant L = v₁ + v₂ (the
-/// sum of the two traversal speeds on the current primitives).  The
-/// sweep therefore advances by Δt = (f(t) − r)/L — the largest step
-/// that provably cannot skip a crossing — and refines by bisection once
-/// f dips below r.  This gives *certified* first-contact times up to a
-/// tolerance, without trusting any fixed sampling grid.
-///
-/// Tangential touches shallower than L·min_step can be passed over (a
-/// Zeno guard forces progress); all experiments in this repository
-/// involve transversal crossings, and `contact_tol` absorbs grazing
-/// contacts to within 1e−9 world units.
+/// |p₁(t) − p₂(t)| ≤ r.  The certified Lipschitz-step/bisection sweep
+/// that finds it lives in `engine::ContactSweep` (see
+/// engine/contact_sweep.hpp for the full argument); this module is the
+/// two-robot adapter that presents the sweep through the historical
+/// `SimResult` interface the rest of the repository consumes.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 
+#include "engine/contact_sweep.hpp"
 #include "geom/attributes.hpp"
 #include "traj/frame.hpp"
 #include "traj/program.hpp"
@@ -31,21 +24,11 @@
 namespace rv::sim {
 
 /// One robot: a local program, hidden attributes, and a global origin.
-struct RobotSpec {
-  std::shared_ptr<traj::Program> program;
-  geom::RobotAttributes attributes;
-  geom::Vec2 origin;
-};
+/// (Shared with every other simulator via the engine layer.)
+using RobotSpec = engine::RobotSpec;
 
-/// Simulation controls.
-struct SimOptions {
-  double visibility = 1.0;      ///< r > 0: rendezvous at separation ≤ r
-  double max_time = 1e9;        ///< give-up horizon (global time)
-  double contact_tol = 1e-9;    ///< accept contact when f ≤ r + contact_tol
-  double time_tol = 1e-9;       ///< bisection tolerance on the contact time
-  double min_step = 1e-9;       ///< Zeno guard: forced progress per step
-  std::uint64_t max_evals = 500'000'000;  ///< hard cap on distance evaluations
-};
+/// Simulation controls — the shared engine sweep options.
+using SimOptions = engine::SweepOptions;
 
 /// Outcome of a simulation run.
 struct SimResult {
@@ -61,7 +44,8 @@ struct SimResult {
 };
 
 /// Sweeps two robots forward in global time and reports the first
-/// contact at separation ≤ r.
+/// contact at separation ≤ r.  Thin adapter over `engine::ContactSweep`
+/// with the min-pairwise metric.
 class TwoRobotSimulator {
  public:
   /// \throws std::invalid_argument on null programs or bad options.
@@ -72,9 +56,7 @@ class TwoRobotSimulator {
   [[nodiscard]] SimResult run();
 
  private:
-  traj::GlobalSegmentStream stream1_;
-  traj::GlobalSegmentStream stream2_;
-  SimOptions opts_;
+  engine::ContactSweep sweep_;
 };
 
 /// Convenience wrapper for the *search* problem of Section 2: a single

@@ -1,0 +1,348 @@
+// Tests for the engine layer: the shared certified sweep, declarative
+// scenario sets, the deterministic parallel runner, and structured
+// result emission.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/contact_sweep.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
+#include "gather/multi_simulator.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "mathx/constants.hpp"
+#include "rendezvous/algorithm7.hpp"
+#include "rendezvous/core.hpp"
+#include "sim/simulator.hpp"
+#include "traj/path.hpp"
+#include "traj/program.hpp"
+
+namespace {
+
+using namespace rv;
+using rv::engine::ContactSweep;
+using rv::engine::RobotSpec;
+using rv::engine::SweepMetric;
+using rv::engine::SweepOptions;
+using rv::geom::RobotAttributes;
+using rv::geom::Vec2;
+using rv::traj::Path;
+using rv::traj::PathProgram;
+using rv::traj::StationaryProgram;
+
+std::shared_ptr<rv::traj::Program> straight_line(const Vec2& to) {
+  Path p;
+  p.line_to(to);
+  return std::make_shared<PathProgram>(p, "line");
+}
+
+// ---------------------------------------------------------------------------
+// ContactSweep core
+// ---------------------------------------------------------------------------
+
+TEST(ContactSweep, HeadOnPairMatchesClosedForm) {
+  std::vector<RobotSpec> robots;
+  robots.push_back({straight_line({100.0, 0.0}), RobotAttributes{},
+                    Vec2{0.0, 0.0}});
+  robots.push_back({straight_line({-100.0, 0.0}), RobotAttributes{},
+                    Vec2{10.0, 0.0}});
+  SweepOptions opts;
+  opts.visibility = 2.0;
+  opts.max_time = 1e6;
+  ContactSweep sweep(std::move(robots), SweepMetric::kMinPairwise, opts);
+  const auto res = sweep.run();
+  ASSERT_TRUE(res.event);
+  EXPECT_NEAR(res.time, 4.0, 1e-7);
+  EXPECT_EQ(res.pair_i, 0);
+  EXPECT_EQ(res.pair_j, 1);
+  ASSERT_EQ(res.positions.size(), 2u);
+}
+
+TEST(ContactSweep, AgreesExactlyWithTwoRobotSimulator) {
+  // The adapter must be a pure repackaging: identical event time,
+  // metric, eval and segment counts.
+  auto specs = [] {
+    std::vector<RobotSpec> robots;
+    robots.push_back({rendezvous::make_rendezvous_program(),
+                      RobotAttributes{}, Vec2{0.0, 0.0}});
+    RobotAttributes fast;
+    fast.speed = 2.0;
+    robots.push_back({rendezvous::make_rendezvous_program(), fast,
+                      Vec2{1.0, 0.0}});
+    return robots;
+  };
+  sim::SimOptions opts;
+  opts.visibility = 0.2;
+  opts.max_time = 1e6;
+
+  auto robots = specs();
+  sim::TwoRobotSimulator two(robots[0], robots[1], opts);
+  const sim::SimResult a = two.run();
+
+  ContactSweep sweep(specs(), SweepMetric::kMinPairwise, opts);
+  const auto b = sweep.run();
+
+  ASSERT_EQ(a.met, b.event);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.distance, b.metric);
+  EXPECT_EQ(a.min_distance, b.best_metric);
+  EXPECT_EQ(a.evals, b.evals);
+  EXPECT_EQ(a.segments, b.segments);
+}
+
+TEST(ContactSweep, Validation) {
+  auto mk = [] {
+    return RobotSpec{std::make_shared<StationaryProgram>(), RobotAttributes{},
+                     Vec2{0.0, 0.0}};
+  };
+  std::vector<RobotSpec> one;
+  one.push_back(mk());
+  EXPECT_THROW(
+      ContactSweep(std::move(one), SweepMetric::kMinPairwise, SweepOptions{}),
+      std::invalid_argument);
+
+  std::vector<RobotSpec> with_null;
+  with_null.push_back(mk());
+  with_null.push_back({nullptr, RobotAttributes{}, Vec2{1.0, 0.0}});
+  EXPECT_THROW(ContactSweep(std::move(with_null), SweepMetric::kMinPairwise,
+                            SweepOptions{}),
+               std::invalid_argument);
+
+  std::vector<RobotSpec> ok;
+  ok.push_back(mk());
+  ok.push_back(mk());
+  SweepOptions bad;
+  bad.visibility = -1.0;
+  EXPECT_THROW(ContactSweep(std::move(ok), SweepMetric::kMinPairwise, bad),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: run_universal pinned against the pre-refactor simulator
+// ---------------------------------------------------------------------------
+
+// Values captured from the seed implementation (duplicated sweep in
+// sim/simulator.cpp and gather/multi_simulator.cpp) before the engine
+// extraction, with d = 1, r = 0.2, horizon 1e6.  The refactor must be
+// bit-exact: same contact times, same eval/segment counts.
+struct PinnedCase {
+  double v, tau, phi;
+  int chi;
+  bool met;
+  double time;
+  double distance;
+  std::uint64_t evals;
+  std::uint64_t segments;
+};
+
+TEST(RunUniversalRegression, MatchesPreRefactorSimulator) {
+  const std::vector<PinnedCase> pinned{
+      {2.0, 1.0, 0.0, 1, true, 217.8051018300167, 0.20000000095451548, 152,
+       24},
+      {0.5, 1.0, 0.0, -1, true, 252.16635554067315, 0.20000000075467028, 168,
+       46},
+      {1.0, 0.5, 0.0, 1, true, 129.22443558226047, 0.20000000009695895, 58,
+       25},
+      {1.0, 0.75, 0.0, 1, true, 183.09972954242775, 0.20000000084347413, 76,
+       22},
+      {1.0, 1.0, mathx::kPi / 2.0, 1, true, 203.9455240075508,
+       0.20000000059795897, 42, 12},
+      {1.5, 0.6, 2.0, -1, true, 136.52038254201852, 0.20000000043805721, 61,
+       16},
+  };
+  for (const PinnedCase& c : pinned) {
+    RobotAttributes a;
+    a.speed = c.v;
+    a.time_unit = c.tau;
+    a.orientation = c.phi;
+    a.chirality = c.chi;
+    const auto out = rendezvous::run_universal(a, 1.0, 0.2, 1e6);
+    EXPECT_EQ(out.sim.met, c.met) << "v=" << c.v << " tau=" << c.tau;
+    EXPECT_DOUBLE_EQ(out.sim.time, c.time) << "v=" << c.v << " tau=" << c.tau;
+    EXPECT_DOUBLE_EQ(out.sim.distance, c.distance);
+    EXPECT_EQ(out.sim.evals, c.evals) << "v=" << c.v << " tau=" << c.tau;
+    EXPECT_EQ(out.sim.segments, c.segments);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioSet
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSet, GridCoversCrossProductInFixedOrder) {
+  engine::ScenarioSet set;
+  set.speeds({1.0, 2.0}).time_units({0.5, 1.0}).visibility(0.1);
+  const auto cells = set.materialize();
+  ASSERT_EQ(cells.size(), 4u);
+  // speeds outermost, time_units next.
+  EXPECT_EQ(cells[0].scenario.attrs.speed, 1.0);
+  EXPECT_EQ(cells[0].scenario.attrs.time_unit, 0.5);
+  EXPECT_EQ(cells[1].scenario.attrs.speed, 1.0);
+  EXPECT_EQ(cells[1].scenario.attrs.time_unit, 1.0);
+  EXPECT_EQ(cells[3].scenario.attrs.speed, 2.0);
+  EXPECT_EQ(cells[3].scenario.attrs.time_unit, 1.0);
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.scenario.visibility, 0.1);
+  }
+}
+
+TEST(ScenarioSet, ExplicitAddsPrecedeGridAndHooksApply) {
+  rendezvous::Scenario special;
+  special.attrs.speed = 9.0;
+  engine::ScenarioSet set;
+  set.add(special, "special")
+      .speeds({1.0, 2.0, 3.0})
+      .filter([](const rendezvous::Scenario& s) {
+        return s.attrs.speed != 2.0;  // drop one grid cell
+      })
+      .horizon([](const rendezvous::Scenario& s) {
+        return 100.0 * s.attrs.speed;
+      })
+      .label([](const rendezvous::Scenario& s) {
+        return "v=" + std::to_string(static_cast<int>(s.attrs.speed));
+      });
+  const auto cells = set.materialize();
+  ASSERT_EQ(cells.size(), 3u);  // special + v=1 + v=3
+  EXPECT_EQ(cells[0].label, "special");
+  EXPECT_EQ(cells[0].scenario.max_time, 900.0);  // horizon hook applies
+  EXPECT_EQ(cells[1].label, "v=1");
+  EXPECT_EQ(cells[1].scenario.max_time, 100.0);
+  EXPECT_EQ(cells[2].label, "v=3");
+}
+
+TEST(ScenarioSet, DistancesSugarSetsOffsetsOnXAxis) {
+  engine::ScenarioSet set;
+  set.distances({2.0, 5.0});
+  const auto cells = set.materialize();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].scenario.offset.x, 2.0);
+  EXPECT_EQ(cells[0].scenario.offset.y, 0.0);
+  EXPECT_EQ(cells[1].scenario.offset.x, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Runner determinism + emission
+// ---------------------------------------------------------------------------
+
+engine::ScenarioSet small_grid() {
+  engine::ScenarioSet set;
+  set.speeds({0.5, 1.0, 2.0})
+      .time_units({0.5, 1.0})
+      .chiralities({1, -1})
+      .visibility(0.25)
+      .algorithm(rendezvous::AlgorithmChoice::kAlgorithm7)
+      .max_time(500.0)
+      .label([](const rendezvous::Scenario& s) {
+        return "v" + io::format_double(s.attrs.speed, 3) + "/t" +
+               io::format_double(s.attrs.time_unit, 3) + "/c" +
+               std::to_string(s.attrs.chirality);
+      });
+  return set;
+}
+
+TEST(Runner, OneVsManyThreadsEmitByteIdenticalResults) {
+  const auto set = small_grid();
+  engine::RunnerOptions seq;
+  seq.threads = 1;
+  engine::RunnerOptions par;
+  par.threads = 4;
+  const engine::ResultSet a = engine::run_scenarios(set, seq);
+  const engine::ResultSet b = engine::run_scenarios(set, par);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), 12u);
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_table().to_ascii(), b.to_table().to_ascii());
+}
+
+TEST(Runner, RecordsKeepScenarioOrderAndOutcomes) {
+  engine::ScenarioSet set;
+  rendezvous::Scenario fast;
+  fast.attrs.speed = 2.0;
+  fast.visibility = 0.2;
+  fast.max_time = 1e6;
+  rendezvous::Scenario infeasible;  // identical robots never meet
+  infeasible.visibility = 0.2;
+  infeasible.max_time = 200.0;
+  set.add(fast, "fast").add(infeasible, "identical");
+  const auto results = engine::run_scenarios(set);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].label, "fast");
+  EXPECT_TRUE(results[0].outcome.sim.met);
+  EXPECT_EQ(results[1].label, "identical");
+  EXPECT_FALSE(results[1].outcome.sim.met);
+  EXPECT_FALSE(rendezvous::is_feasible(results[1].outcome.feasibility));
+  EXPECT_FALSE(results.all_met());
+}
+
+TEST(ResultSet, CsvHasHeaderLabelAndExtras) {
+  engine::ScenarioSet set;
+  rendezvous::Scenario s;
+  s.attrs.speed = 2.0;
+  s.visibility = 0.2;
+  s.max_time = 1e6;
+  set.add(s, "case-a");
+  const auto results = engine::run_scenarios(set);
+  const std::vector<engine::Column> extras{
+      {"twice_time", [](const engine::RunRecord& rec) {
+         return io::format_double(2.0 * rec.outcome.sim.time);
+       }}};
+  const auto header = results.csv_header(extras);
+  ASSERT_FALSE(header.empty());
+  EXPECT_EQ(header.front(), "label");
+  EXPECT_EQ(header.back(), "twice_time");
+  const auto rows = results.csv_rows(extras);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), header.size());
+  EXPECT_EQ(rows[0].front(), "case-a");
+  // CSV string parses back to the same grid.
+  const auto parsed = io::parse_csv(results.to_csv(extras));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], header);
+  EXPECT_EQ(parsed[1], rows[0]);
+}
+
+TEST(ResultSet, JsonIsWellFormedEnoughToRoundTripKeys) {
+  const auto results = engine::run_scenarios(small_grid());
+  const std::string json = results.to_json();
+  EXPECT_EQ(json.front(), '[');
+  // One object per record.
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"met\""); pos != std::string::npos;
+       pos = json.find("\"met\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, results.size());
+}
+
+TEST(Runner, AdapterParityGatherVsTwoRobot) {
+  // A 2-robot gather in first-contact mode and the two-robot simulator
+  // must report the same event through their shared engine core.
+  sim::SimOptions opts;
+  opts.visibility = 0.2;
+  opts.max_time = 1e6;
+  const auto factory =
+      rendezvous::program_factory(rendezvous::AlgorithmChoice::kAlgorithm7);
+  RobotAttributes fast;
+  fast.speed = 2.0;
+
+  const auto two = sim::simulate_rendezvous(factory, fast, {1.0, 0.0}, opts);
+
+  gather::GatherOptions gopts;
+  gopts.sweep = opts;
+  gopts.mode = gather::GatherMode::kFirstContact;
+  const auto multi = gather::simulate_gathering(
+      factory, {RobotAttributes{}, fast}, {{0.0, 0.0}, {1.0, 0.0}}, gopts);
+
+  ASSERT_TRUE(two.met);
+  ASSERT_TRUE(multi.achieved);
+  EXPECT_EQ(two.time, multi.time);
+  EXPECT_EQ(two.evals, multi.evals);
+}
+
+}  // namespace

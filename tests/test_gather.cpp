@@ -32,9 +32,9 @@ std::shared_ptr<rv::traj::Program> line_program(const Vec2& to) {
 
 GatherOptions opts_with(double r, GatherMode mode, double horizon = 1e5) {
   GatherOptions o;
-  o.visibility = r;
+  o.sweep.visibility = r;
   o.mode = mode;
-  o.max_time = horizon;
+  o.sweep.max_time = horizon;
   return o;
 }
 
@@ -60,7 +60,7 @@ TEST(MultiRobot, RejectsNullProgramAndBadOptions) {
   ok.push_back(mk());
   ok.push_back(mk());
   GatherOptions bad;
-  bad.visibility = 0.0;
+  bad.sweep.visibility = 0.0;
   EXPECT_THROW(MultiRobotSimulator(std::move(ok), bad), std::invalid_argument);
 }
 

@@ -8,19 +8,23 @@
 //  A3: annulus circle spacing c·ρ for c ∈ {1, 2, 3, 4} — c = 2 is the
 //      paper's choice; c > 2 voids the coverage guarantee, c < 2 pays
 //      extra time for redundant coverage.
+//
+// A1 (rendezvous cells with custom variant programs) and A3 (search
+// cells with variant spacing, misses tolerated) are declarative
+// `engine::ScenarioSet`s; A2 is pure schedule algebra (no simulation)
+// and stays a closed-form loop.
 
 #include <cmath>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "mathx/constants.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
 #include "io/table.hpp"
-#include "rendezvous/schedule.hpp"
 #include "rendezvous/variants.hpp"
 #include "search/times.hpp"
 #include "search/variants.hpp"
-#include "sim/simulator.hpp"
 
 int main() {
   using namespace rv;
@@ -30,37 +34,47 @@ int main() {
 
   // --- A1: reverse pass ------------------------------------------------------
   {
+    const double d = 1.0, r = 0.1;
+    const std::vector<double> taus{0.5, 0.6, 0.75, 0.9};
+    const rendezvous::ActivePhaseOrder orders[2] = {
+        rendezvous::ActivePhaseOrder::kForwardThenReverse,
+        rendezvous::ActivePhaseOrder::kForwardTwice};
+
+    engine::ScenarioSet set;
+    for (const double tau : taus) {
+      for (const auto order : orders) {
+        rendezvous::Scenario s;
+        s.attrs.time_unit = tau;
+        s.offset = {d, 0.0};
+        s.visibility = r;
+        s.max_time = 5e6;
+        s.program = [order] {
+          return rendezvous::make_variant_rendezvous_program(order);
+        };
+        s.program_name = order == rendezvous::ActivePhaseOrder::kForwardTwice
+                             ? "algorithm7-fwd-fwd"
+                             : "algorithm7-fwd-rev";
+        set.add(s);
+      }
+    }
+    const engine::ResultSet results = engine::run_scenarios(set);
+
     io::Table table({"tau", "fwd+rev t", "fwd+fwd t", "fwd+fwd / fwd+rev"});
     std::vector<io::CsvRow> csv;
-    const double d = 1.0, r = 0.1;
-    for (const double tau : {0.5, 0.6, 0.75, 0.9}) {
-      geom::RobotAttributes a;
-      a.time_unit = tau;
-      double times[2] = {0.0, 0.0};
-      bool ok = true;
-      const rendezvous::ActivePhaseOrder orders[2] = {
-          rendezvous::ActivePhaseOrder::kForwardThenReverse,
-          rendezvous::ActivePhaseOrder::kForwardTwice};
-      for (int variant = 0; variant < 2; ++variant) {
-        sim::SimOptions opts;
-        opts.visibility = r;
-        opts.max_time = 5e6;
-        const auto order = orders[variant];
-        const auto res = sim::simulate_rendezvous(
-            [order] {
-              return rendezvous::make_variant_rendezvous_program(order);
-            },
-            a, {d, 0.0}, opts);
-        if (!res.met) ok = false;
-        times[variant] = res.met ? res.time : -1.0;
-      }
-      table.add_row({io::format_fixed(tau, 2),
+    for (std::size_t i = 0; i < taus.size(); ++i) {
+      // Two records per tau, in declaration order: fwd+rev then fwd+fwd.
+      const sim::SimResult& fwd_rev = results[2 * i].outcome.sim;
+      const sim::SimResult& fwd_fwd = results[2 * i + 1].outcome.sim;
+      const bool ok = fwd_rev.met && fwd_fwd.met;
+      const double times[2] = {fwd_rev.met ? fwd_rev.time : -1.0,
+                               fwd_fwd.met ? fwd_fwd.time : -1.0};
+      table.add_row({io::format_fixed(taus[i], 2),
                      ok ? io::format_fixed(times[0], 1) : "-",
                      times[1] >= 0 ? io::format_fixed(times[1], 1) : "MISS",
                      (ok && times[1] >= 0)
                          ? io::format_fixed(times[1] / times[0], 2) + "x"
                          : "-"});
-      csv.push_back({io::format_double(tau), io::format_double(times[0]),
+      csv.push_back({io::format_double(taus[i]), io::format_double(times[0]),
                      io::format_double(times[1])});
     }
     table.print(std::cout,
@@ -106,33 +120,39 @@ int main() {
 
   // --- A3: circle spacing ------------------------------------------------------
   {
+    const double d = 1.5, r = 0.05;
+    const std::vector<double> spacings{1.0, 2.0, 3.0, 4.0};
+
+    engine::ScenarioSet set;
+    for (const double c : spacings) {
+      search::VariantOptions vopts;
+      vopts.spacing_factor = c;
+      engine::SearchCell cell;
+      cell.distance = d;
+      cell.visibility = r;
+      cell.angles = 8;
+      cell.angle_offset = 0.11;
+      cell.program_factory = [vopts] {
+        return search::make_variant_search_program(vopts);
+      };
+      cell.program_name = "algorithm4-spacing";
+      // Horizon: generous multiple of the c = 2 guarantee.
+      cell.max_time =
+          4.0 * search::time_first_rounds(search::guaranteed_round(d, r));
+      set.add_search(cell);
+    }
+    const engine::ResultSet results = engine::run_scenarios(set);
+
     io::Table table({"spacing c", "found", "missed", "worst t (found)",
                      "t vs c=2"});
     std::vector<io::CsvRow> csv;
-    const double d = 1.5, r = 0.05;
     double reference_time = 0.0;
-    for (const double c : {1.0, 2.0, 3.0, 4.0}) {
-      int found = 0, missed = 0;
-      double worst = 0.0;
-      for (int ang_i = 0; ang_i < 8; ++ang_i) {
-        const double ang = 2.0 * mathx::kPi * ang_i / 8.0 + 0.11;
-        search::VariantOptions vopts;
-        vopts.spacing_factor = c;
-        sim::SimOptions opts;
-        opts.visibility = r;
-        // Horizon: generous multiple of the c = 2 guarantee.
-        opts.max_time =
-            4.0 * search::time_first_rounds(search::guaranteed_round(d, r));
-        const auto res = sim::simulate_search(
-            search::make_variant_search_program(vopts), geom::polar(d, ang),
-            opts);
-        if (res.met) {
-          ++found;
-          worst = std::max(worst, res.time);
-        } else {
-          ++missed;
-        }
-      }
+    for (std::size_t i = 0; i < spacings.size(); ++i) {
+      const double c = spacings[i];
+      const engine::SearchOutcome& out = results[i].search_outcome;
+      const int found = out.found;
+      const int missed = out.missed;
+      const double worst = out.worst_time;
       if (c == 2.0) reference_time = worst;
       table.add_row({io::format_fixed(c, 1), std::to_string(found),
                      std::to_string(missed),

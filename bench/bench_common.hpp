@@ -5,6 +5,7 @@
 /// handling, CSV dumping, and a uniform banner so `bench_output.txt`
 /// reads as a single report.
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -49,8 +50,10 @@ inline void dump_csv(const std::string& filename,
   std::cout << "[csv] " << path.string() << " (" << rows.size() << " rows)\n";
 }
 
-/// Formats a ratio as e.g. "0.43x".
+/// Formats a ratio as e.g. "0.43x"; reports "n/a" instead of dividing
+/// by a zero/non-finite bound (which would print "infx"/"nanx").
 inline std::string ratio_str(double measured, double bound) {
+  if (bound == 0.0 || !std::isfinite(measured / bound)) return "n/a";
   return rv::io::format_fixed(measured / bound, 3) + "x";
 }
 

@@ -5,18 +5,22 @@
 // "table" the theorem implies: one row per (d, r) with the worst
 // measured time over a ring of target angles, the bound, and the
 // measured/bound ratio (< 1 everywhere the bound applies).
+//
+// The sweep is a declarative search-family `engine::ScenarioSet` — the
+// (d, r) grid, the applicability filter, and the per-cell theorem
+// horizon are data; the 16-angle ring and its worst-over-angles
+// reduction run inside the engine's `Runner`.  This file only declares
+// the grid and reports.
 
 #include <algorithm>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "mathx/constants.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
 #include "io/table.hpp"
-#include "mathx/stats.hpp"
-#include "search/algorithm4.hpp"
 #include "search/times.hpp"
-#include "sim/simulator.hpp"
 #include "viz/ascii.hpp"
 #include "viz/chart.hpp"
 
@@ -25,49 +29,54 @@ int main() {
   bench::banner("E1", "universal search vs Theorem 1 bound",
                 "Theorem 1 (search time bound), Lemma 3 (ratio lower bound)");
 
-  const std::vector<double> distances{1.0, 1.5, 2.0, 3.0, 4.0, 6.0};
-  const std::vector<double> radii{0.5, 0.25, 0.125, 0.0625, 0.03125};
   constexpr int kAngles = 16;
+
+  engine::SearchCell base;
+  base.angles = kAngles;
+  base.angle_offset = 0.03;
+  engine::ScenarioSet set;
+  set.search_base(base)
+      .search_distances({1.0, 1.5, 2.0, 3.0, 4.0, 6.0})
+      .search_radii({0.5, 0.25, 0.125, 0.0625, 0.03125})
+      .search_filter([](const engine::SearchCell& c) {
+        return search::theorem1_bound_applicable(c.distance, c.visibility);
+      })
+      .search_horizon([](const engine::SearchCell& c) {
+        return search::theorem1_bound(c.distance, c.visibility) + 1.0;
+      });
+
+  const engine::ResultSet results = engine::run_scenarios(set);
 
   io::Table table({"d", "r", "d^2/r", "worst t", "mean t", "bound",
                    "worst/bound", "guar. round"});
   std::vector<io::CsvRow> csv;
   std::vector<double> xs, ys_measured, ys_bound;
 
-  for (const double d : distances) {
-    for (const double r : radii) {
-      if (!search::theorem1_bound_applicable(d, r)) continue;
-      const double bound = search::theorem1_bound(d, r);
-      mathx::RunningStats stats;
-      for (int a = 0; a < kAngles; ++a) {
-        const double ang = 2.0 * mathx::kPi * a / kAngles + 0.03;
-        sim::SimOptions opts;
-        opts.visibility = r;
-        opts.max_time = bound + 1.0;
-        const auto res = sim::simulate_search(search::make_search_program(),
-                                              geom::polar(d, ang), opts);
-        if (!res.met) {
-          std::cerr << "UNEXPECTED MISS d=" << d << " r=" << r
-                    << " ang=" << ang << '\n';
-          return 1;
-        }
-        stats.add(res.time);
-      }
-      const double ratio = d * d / r;
-      table.add_row({io::format_fixed(d, 2), io::format_fixed(r, 4),
-                     io::format_fixed(ratio, 1),
-                     io::format_fixed(stats.max(), 1),
-                     io::format_fixed(stats.mean(), 1),
-                     io::format_fixed(bound, 1),
-                     bench::ratio_str(stats.max(), bound),
-                     std::to_string(search::guaranteed_round(d, r))});
-      csv.push_back({io::format_double(d), io::format_double(r),
-                     io::format_double(ratio), io::format_double(stats.max()),
-                     io::format_double(stats.mean()), io::format_double(bound)});
-      xs.push_back(ratio);
-      ys_measured.push_back(stats.max());
-      ys_bound.push_back(bound);
+  for (const engine::RunRecord& rec : results) {
+    const double d = rec.search.distance;
+    const double r = rec.search.visibility;
+    const engine::SearchOutcome& out = rec.search_outcome;
+    if (!out.complete) {
+      std::cerr << "UNEXPECTED MISS d=" << d << " r=" << r
+                << " ang=" << out.first_miss_angle << '\n';
+      return 1;
     }
+    const double bound = search::theorem1_bound(d, r);
+    const double ratio = d * d / r;
+    table.add_row({io::format_fixed(d, 2), io::format_fixed(r, 4),
+                   io::format_fixed(ratio, 1),
+                   io::format_fixed(out.worst_time, 1),
+                   io::format_fixed(out.mean_time, 1),
+                   io::format_fixed(bound, 1),
+                   bench::ratio_str(out.worst_time, bound),
+                   std::to_string(search::guaranteed_round(d, r))});
+    csv.push_back({io::format_double(d), io::format_double(r),
+                   io::format_double(ratio),
+                   io::format_double(out.worst_time),
+                   io::format_double(out.mean_time), io::format_double(bound)});
+    xs.push_back(ratio);
+    ys_measured.push_back(out.worst_time);
+    ys_bound.push_back(bound);
   }
 
   table.print(std::cout,

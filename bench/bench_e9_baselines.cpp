@@ -6,40 +6,20 @@
 // reproduce: Algorithm 4's decoupled (d, r) coverage wins increasingly
 // as d²/r grows unbalanced, because the baselines couple range and
 // granularity (Θ(8^m) per doubling round).
+//
+// Each (instance, program) pair is a search-family cell of one
+// declarative `engine::ScenarioSet`; the engine's worst-over-angles
+// reducer replaces the per-program loop this bench used to hand-roll.
 
+#include <algorithm>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "mathx/constants.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
 #include "io/table.hpp"
-#include "mathx/stats.hpp"
-#include "search/algorithm4.hpp"
-#include "search/baselines.hpp"
-#include "search/times.hpp"
-#include "sim/simulator.hpp"
 #include "viz/ascii.hpp"
-
-namespace {
-
-double worst_time(const std::function<std::shared_ptr<rv::traj::Program>()>&
-                      make_program,
-                  double d, double r, double horizon) {
-  rv::mathx::RunningStats stats;
-  for (int a = 0; a < 8; ++a) {
-    const double ang = 2.0 * rv::mathx::kPi * a / 8.0 + 0.07;
-    rv::sim::SimOptions opts;
-    opts.visibility = r;
-    opts.max_time = horizon;
-    const auto res =
-        rv::sim::simulate_search(make_program(), rv::geom::polar(d, ang), opts);
-    if (!res.met) return -1.0;
-    stats.add(res.time);
-  }
-  return stats.max();
-}
-
-}  // namespace
 
 int main() {
   using namespace rv;
@@ -55,27 +35,45 @@ int main() {
   const std::vector<Instance> instances{
       {1.0, 0.5},  {1.0, 0.25}, {2.0, 0.25},  {2.0, 0.125},
       {4.0, 0.25}, {4.0, 0.125}, {6.0, 0.125}, {3.0, 0.03125}};
+  const std::vector<engine::SearchProgram> programs{
+      engine::SearchProgram::kAlgorithm4, engine::SearchProgram::kConcentric,
+      engine::SearchProgram::kSquareSpiral};
+
+  engine::ScenarioSet set;
+  for (const Instance& inst : instances) {
+    for (const engine::SearchProgram prog : programs) {
+      engine::SearchCell cell;
+      cell.distance = inst.d;
+      cell.visibility = inst.r;
+      cell.angles = 8;
+      cell.angle_offset = 0.07;
+      cell.program = prog;
+      cell.max_time = 5e6;
+      set.add_search(cell);
+    }
+  }
+
+  const engine::ResultSet results = engine::run_scenarios(set);
 
   io::Table table({"d", "r", "d^2/r", "Algorithm 4", "concentric",
                    "square spiral", "best baseline / Alg4"});
   std::vector<io::CsvRow> csv;
   std::vector<double> xs, alg4_t, conc_t, spiral_t;
 
-  for (const Instance& inst : instances) {
-    const double horizon = 5e6;
-    const double t4 = worst_time([] { return search::make_search_program(); },
-                                 inst.d, inst.r, horizon);
-    const double tc =
-        worst_time([] { return search::make_concentric_baseline(); }, inst.d,
-                   inst.r, horizon);
-    const double ts =
-        worst_time([] { return search::make_square_spiral_baseline(); },
-                   inst.d, inst.r, horizon);
-    if (t4 < 0.0 || tc < 0.0 || ts < 0.0) {
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Instance& inst = instances[i];
+    // One record per program, in declaration order.
+    const engine::SearchOutcome& alg4 = results[3 * i].search_outcome;
+    const engine::SearchOutcome& conc = results[3 * i + 1].search_outcome;
+    const engine::SearchOutcome& spiral = results[3 * i + 2].search_outcome;
+    if (!alg4.complete || !conc.complete || !spiral.complete) {
       std::cerr << "UNEXPECTED MISS on d=" << inst.d << " r=" << inst.r
                 << '\n';
       return 1;
     }
+    const double t4 = alg4.worst_time;
+    const double tc = conc.worst_time;
+    const double ts = spiral.worst_time;
     const double best_baseline = std::min(tc, ts);
     table.add_row({io::format_fixed(inst.d, 2), io::format_fixed(inst.r, 4),
                    io::format_fixed(inst.d * inst.d / inst.r, 1),

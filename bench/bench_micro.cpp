@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "engine/contact_sweep.hpp"
 #include "engine/runner.hpp"
 #include "engine/scenario_set.hpp"
 #include "geom/difference_map.hpp"
@@ -103,6 +104,36 @@ void BM_ContactSweepSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ContactSweepSearch);
+
+void BM_ContactSweepGather(benchmark::State& state) {
+  // The n-robot gathering sweep: n robots on a unit ring all running
+  // Algorithm 7, max-pairwise metric.  The argument is the fleet size,
+  // so the timings expose the O(n^2) pairwise metric loop that
+  // dominates the gather family's cost.
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t evals = 0;
+  for (auto _ : state) {
+    std::vector<rv::engine::RobotSpec> robots;
+    robots.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      RobotAttributes attrs;
+      attrs.speed = 1.0 + 0.25 * i;
+      robots.push_back({rv::rendezvous::make_rendezvous_program(), attrs,
+                        rv::geom::polar(1.0, rv::mathx::kTwoPi * i / n)});
+    }
+    rv::engine::SweepOptions opts;
+    opts.visibility = 0.2;
+    opts.max_time = 200.0;
+    rv::engine::ContactSweep sweep(std::move(robots),
+                                   rv::engine::SweepMetric::kMaxPairwise,
+                                   opts);
+    const auto res = sweep.run();
+    evals += res.evals;
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(evals) * n * (n - 1) / 2);
+}
+BENCHMARK(BM_ContactSweepGather)->Arg(3)->Arg(6)->Arg(10);
 
 void BM_LambertW0(benchmark::State& state) {
   double x = 0.5;

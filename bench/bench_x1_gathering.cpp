@@ -10,15 +10,18 @@
 //  * simultaneous all-pairs gathering is much harder: pairs meet at
 //    different times/places and drift apart again — exactly why the
 //    paper lists gathering as an open problem.
+//
+// Each fleet is a gather-family cell of a declarative
+// `engine::ScenarioSet`; the engine runs both certified sweeps (first
+// contact and all-pairs) per cell.
 
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "mathx/constants.hpp"
-#include "gather/multi_simulator.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
 #include "io/table.hpp"
-#include "rendezvous/algorithm7.hpp"
 
 int main() {
   using namespace rv;
@@ -46,34 +49,28 @@ int main() {
       {"3 identical robots", {mk(1.0, 1.0), mk(1.0, 1.0), mk(1.0, 1.0)}},
   };
 
+  engine::ScenarioSet set;
+  for (const Fleet& fleet : fleets) {
+    engine::GatherCell cell;
+    cell.fleet = fleet.attrs;
+    cell.ring_radius = 1.0;
+    cell.visibility = 0.2;
+    cell.algorithm = rendezvous::AlgorithmChoice::kAlgorithm7;
+    cell.contact_max_time = 1e5;
+    cell.gather_max_time = 2e5;
+    set.add_gather(cell, fleet.label);
+  }
+
+  const engine::ResultSet results = engine::run_scenarios(set);
+
   io::Table table({"fleet", "N", "first contact t", "pair", "all-pairs t",
                    "min max-pairwise seen"});
   std::vector<io::CsvRow> csv;
 
-  for (const Fleet& fleet : fleets) {
-    const std::size_t n = fleet.attrs.size();
-    // Place robots on a ring of radius 1.
-    std::vector<geom::Vec2> origins;
-    for (std::size_t i = 0; i < n; ++i) {
-      origins.push_back(
-          geom::polar(1.0, 2.0 * mathx::kPi * static_cast<double>(i) /
-                               static_cast<double>(n)));
-    }
-    auto factory = [] { return rendezvous::make_rendezvous_program(); };
-
-    gather::GatherOptions contact_opts;
-    contact_opts.sweep.visibility = 0.2;
-    contact_opts.sweep.max_time = 1e5;
-    contact_opts.mode = gather::GatherMode::kFirstContact;
-    const auto contact =
-        gather::simulate_gathering(factory, fleet.attrs, origins, contact_opts);
-
-    gather::GatherOptions gather_opts = contact_opts;
-    gather_opts.mode = gather::GatherMode::kAllPairsGathered;
-    gather_opts.sweep.max_time = 2e5;
-    const auto gathered =
-        gather::simulate_gathering(factory, fleet.attrs, origins, gather_opts);
-
+  for (const engine::RunRecord& rec : results) {
+    const std::size_t n = rec.gather.fleet.size();
+    const gather::GatherResult& contact = rec.gather_outcome.contact;
+    const gather::GatherResult& gathered = rec.gather_outcome.gathered;
     std::string pair_label = "-";
     if (contact.achieved) {
       pair_label = "(";
@@ -83,13 +80,13 @@ int main() {
       pair_label += ")";
     }
     table.add_row(
-        {fleet.label, std::to_string(n),
+        {rec.label, std::to_string(n),
          contact.achieved ? io::format_fixed(contact.time, 1) : "none",
          pair_label,
          gathered.achieved ? io::format_fixed(gathered.time, 1)
                            : "not in horizon",
          io::format_fixed(gathered.min_max_pairwise, 3)});
-    csv.push_back({fleet.label, std::to_string(n),
+    csv.push_back({rec.label, std::to_string(n),
                    io::format_double(contact.achieved ? contact.time : -1.0),
                    io::format_double(gathered.achieved ? gathered.time : -1.0),
                    io::format_double(gathered.min_max_pairwise)});

@@ -71,7 +71,9 @@ SweepResult ContactSweep::run() {
       }
       return best;
     }
-    double worst = 0.0;
+    // Start below any distance so the pair is set even when every
+    // separation is exactly 0 (coincident robots).
+    double worst = -std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
         const double d = geom::distance(pos[i], pos[j]);
@@ -92,13 +94,18 @@ SweepResult ContactSweep::run() {
     return metric_of(pos_, out_i, out_j);
   };
 
-  // Final positions + metric (reporting only — not a counted eval).
+  // Final positions + metric + extremal pair (reporting only — not a
+  // counted eval).  The pair is recomputed here, at the *certified*
+  // time, so the reported pair, metric and positions are mutually
+  // consistent: the detection evaluation happens at a sweep point
+  // strictly after the bisected event time, where a different pair may
+  // be extremal.
   auto finalize = [&](double at) {
     res.positions.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       res.positions[i] = current_[i].position(at);
     }
-    res.metric = metric_of(res.positions, nullptr, nullptr);
+    res.metric = metric_of(res.positions, &res.pair_i, &res.pair_j);
   };
 
   double t = 0.0;
@@ -116,8 +123,7 @@ SweepResult ContactSweep::run() {
       window_end = std::min(window_end, current_[i].t1);
     }
 
-    int mi = -1, mj = -1;
-    const double m = evaluate(t, &mi, &mj);
+    const double m = evaluate(t, nullptr, nullptr);
     if (m < res.best_metric) {
       res.best_metric = m;
       res.best_metric_time = t;
@@ -142,8 +148,6 @@ SweepResult ContactSweep::run() {
       }
       res.event = true;
       res.time = event_time;
-      res.pair_i = mi;
-      res.pair_j = mj;
       finalize(event_time);
       return res;
     }

@@ -68,8 +68,8 @@ struct SweepResult {
   double metric = 0.0;       ///< metric value at `time`
   double best_metric = 0.0;  ///< smallest metric seen at sweep evaluations
   double best_metric_time = 0.0;  ///< when the best metric was seen
-  int pair_i = -1;           ///< extremal pair at the triggering evaluation
-  int pair_j = -1;
+  int pair_i = -1;  ///< extremal pair at `time` (consistent with `metric`
+  int pair_j = -1;  ///< and `positions`; set on event and at the horizon)
   std::vector<geom::Vec2> positions;  ///< all robot positions at `time`
   std::uint64_t evals = 0;     ///< metric evaluations performed
   std::uint64_t segments = 0;  ///< timed segments consumed (all robots)

@@ -1,0 +1,119 @@
+#include "engine/families.hpp"
+
+#include <stdexcept>
+
+#include "mathx/constants.hpp"
+#include "mathx/stats.hpp"
+#include "search/algorithm4.hpp"
+#include "search/baselines.hpp"
+#include "sim/simulator.hpp"
+
+namespace rv::engine {
+
+const char* family_name(Family family) {
+  switch (family) {
+    case Family::kRendezvous: return "rendezvous";
+    case Family::kSearch: return "search";
+    case Family::kGather: return "gather";
+  }
+  return "?";
+}
+
+namespace {
+
+std::shared_ptr<traj::Program> make_search_cell_program(
+    const SearchCell& cell) {
+  if (cell.program_factory) return cell.program_factory();
+  switch (cell.program) {
+    case SearchProgram::kAlgorithm4: return search::make_search_program();
+    case SearchProgram::kConcentric: return search::make_concentric_baseline();
+    case SearchProgram::kSquareSpiral:
+      return search::make_square_spiral_baseline();
+  }
+  throw std::invalid_argument("run_search_cell: unknown program");
+}
+
+}  // namespace
+
+SearchOutcome run_search_cell(const SearchCell& cell) {
+  if (cell.angles < 1) {
+    throw std::invalid_argument("run_search_cell: need >= 1 angle");
+  }
+  if (!(cell.distance > 0.0)) {
+    throw std::invalid_argument("run_search_cell: distance must be > 0");
+  }
+  SearchOutcome out;
+  mathx::RunningStats stats;
+  // The worst-over-angles reducer: simulate every target angle of the
+  // ring (in ring order, so the reduction is deterministic) and keep
+  // the worst/mean discovery time over the found ones.
+  for (int a = 0; a < cell.angles; ++a) {
+    const double ang = 2.0 * mathx::kPi * a / cell.angles + cell.angle_offset;
+    sim::SimOptions opts;
+    opts.visibility = cell.visibility;
+    opts.max_time = cell.max_time;
+    const sim::SimResult res =
+        sim::simulate_search(make_search_cell_program(cell),
+                             geom::polar(cell.distance, ang), opts, cell.attrs);
+    out.evals += res.evals;
+    out.segments += res.segments;
+    if (res.met) {
+      if (out.found == 0 || res.time > out.worst_time) {
+        out.worst_time = res.time;
+        out.worst_angle = ang;
+      }
+      ++out.found;
+      stats.add(res.time);
+    } else {
+      if (out.missed == 0) out.first_miss_angle = ang;
+      ++out.missed;
+    }
+  }
+  out.complete = out.found == cell.angles;
+  out.mean_time = out.found > 0 ? stats.mean() : 0.0;
+  out.program_name = cell.program_name.empty()
+                         ? make_search_cell_program(cell)->name()
+                         : cell.program_name;
+  return out;
+}
+
+geom::Vec2 gather_origin(const GatherCell& cell, std::size_t i) {
+  const std::size_t n = cell.fleet.size();
+  geom::Vec2 origin = geom::polar(
+      cell.ring_radius, cell.ring_phase + 2.0 * mathx::kPi *
+                                              static_cast<double>(i) /
+                                              static_cast<double>(n));
+  if (i < cell.jitter.size()) {
+    origin.x += cell.jitter[i].x;
+    origin.y += cell.jitter[i].y;
+  }
+  return origin;
+}
+
+GatherOutcome run_gather_cell(const GatherCell& cell) {
+  const std::size_t n = cell.fleet.size();
+  if (n < 2) {
+    throw std::invalid_argument("run_gather_cell: need a fleet of >= 2");
+  }
+  std::vector<geom::Vec2> origins;
+  origins.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) origins.push_back(gather_origin(cell, i));
+  const auto factory = rendezvous::program_factory(cell.algorithm);
+
+  GatherOutcome out;
+  gather::GatherOptions contact_opts;
+  contact_opts.sweep.visibility = cell.visibility;
+  contact_opts.sweep.max_time = cell.contact_max_time;
+  contact_opts.mode = gather::GatherMode::kFirstContact;
+  out.contact =
+      gather::simulate_gathering(factory, cell.fleet, origins, contact_opts);
+
+  gather::GatherOptions gather_opts = contact_opts;
+  gather_opts.mode = gather::GatherMode::kAllPairsGathered;
+  gather_opts.sweep.max_time = cell.gather_max_time;
+  out.gathered =
+      gather::simulate_gathering(factory, cell.fleet, origins, gather_opts);
+  return out;
+}
+
+}  // namespace rv::engine

@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file families.hpp
+/// Workload families of the batch engine.
+///
+/// PR 1 made `src/engine/` the single certified sweep + declarative
+/// batch runner, but only for 2-robot rendezvous scenarios.  This layer
+/// generalises the engine into a *multi-workload* batch system: a
+/// `ScenarioSet` may declare cells from three families —
+///
+///  * **rendezvous** — the original `rendezvous::Scenario` attribute
+///    grid (v, τ, φ, χ, offset);
+///  * **search** — one searcher against a stationary target at distance
+///    `d`, evaluated over a *ring of target angles* with the
+///    worst-over-angles reduction performed engine-side (the reducer
+///    every search bench used to hand-roll);
+///  * **gather** — an n-robot fleet on an origin ring, swept for both
+///    first contact (min-pairwise) and all-pairs gathering
+///    (max-pairwise).
+///
+/// All families are executed by the same deterministic `Runner`
+/// (results placed by cell index, never completion order) and reported
+/// through `ResultSet` with per-family standard columns, so table/CSV/
+/// JSON output stays byte-identical at any thread count.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gather/multi_simulator.hpp"
+#include "geom/attributes.hpp"
+#include "geom/vec2.hpp"
+#include "rendezvous/core.hpp"
+#include "traj/program.hpp"
+
+namespace rv::engine {
+
+/// Which workload family a cell/record belongs to.
+enum class Family {
+  kRendezvous,  ///< 2-robot rendezvous scenario
+  kSearch,      ///< single searcher vs stationary target, angle ring
+  kGather,      ///< n-robot fleet, first-contact + all-pairs sweeps
+};
+
+/// Display name ("rendezvous", "search", "gather").
+[[nodiscard]] const char* family_name(Family family);
+
+// ---------------------------------------------------------------------------
+// Search family
+// ---------------------------------------------------------------------------
+
+/// Which universal search program the cell runs.
+enum class SearchProgram {
+  kAlgorithm4,    ///< the paper's Algorithm 4
+  kConcentric,    ///< doubling concentric-circle baseline (E9)
+  kSquareSpiral,  ///< doubling square-spiral baseline (E9)
+};
+
+/// One search cell: target distance `d`, a ring of target angles,
+/// visibility `r`, and a program choice.  The runner simulates every
+/// angle of the ring and reduces worst-over-angles — the aggregation
+/// the search benches (E1, E9, A3) previously hand-rolled.
+struct SearchCell {
+  double distance = 1.0;      ///< d: target distance from the searcher
+  double visibility = 0.05;   ///< r: discovery radius
+  int angles = 1;             ///< ring size (targets at 2πa/angles + offset)
+  double angle_offset = 0.0;  ///< phase of the ring (avoid axis artefacts)
+  SearchProgram program = SearchProgram::kAlgorithm4;
+  /// Optional custom program factory overriding `program` (ablations,
+  /// e.g. A3's spacing variants).  Must return a fresh Program per
+  /// call: one per angle, plus once more per cell to resolve the
+  /// reported name when `program_name` is left empty.
+  std::function<std::shared_ptr<traj::Program>()> program_factory;
+  std::string program_name;   ///< reported name when `program_factory` set
+  geom::RobotAttributes attrs = geom::reference_attributes();  ///< searcher
+  double max_time = 1e9;      ///< per-angle horizon
+};
+
+/// Worst-over-angles reduction of one search cell.
+struct SearchOutcome {
+  int found = 0;               ///< angles where the target was discovered
+  int missed = 0;              ///< angles where the horizon hit first
+  bool complete = false;       ///< found == angles
+  double worst_time = 0.0;     ///< max discovery time over found angles
+  double mean_time = 0.0;      ///< mean discovery time over found angles
+  double worst_angle = 0.0;    ///< angle attaining `worst_time`
+  double first_miss_angle = 0.0;  ///< first missed angle (when missed > 0)
+  std::string program_name;    ///< resolved program name
+  std::uint64_t evals = 0;     ///< total metric evaluations over the ring
+  std::uint64_t segments = 0;  ///< total segments consumed over the ring
+};
+
+/// Runs one search cell: simulates every angle of the ring and reduces
+/// worst/mean-over-angles.  Deterministic (angles in ring order).
+[[nodiscard]] SearchOutcome run_search_cell(const SearchCell& cell);
+
+// ---------------------------------------------------------------------------
+// Gather family
+// ---------------------------------------------------------------------------
+
+/// One gathering cell: a fleet of n robots placed on an origin ring,
+/// all running the same algorithm.  The runner performs two certified
+/// sweeps per cell: first contact (min-pairwise) and all-pairs
+/// gathering (max-pairwise), each with its own horizon.
+struct GatherCell {
+  std::vector<geom::RobotAttributes> fleet;  ///< per-robot attributes (n ≥ 2)
+  double ring_radius = 1.0;  ///< robots start at polar(radius, 2πi/n + phase)
+  double ring_phase = 0.0;   ///< rotation of the origin ring
+  std::vector<geom::Vec2> jitter;  ///< optional per-robot origin offsets
+  double visibility = 0.2;   ///< r for both sweeps
+  rendezvous::AlgorithmChoice algorithm =
+      rendezvous::AlgorithmChoice::kAlgorithm7;
+  double contact_max_time = 1e5;  ///< horizon of the first-contact sweep
+  double gather_max_time = 2e5;   ///< horizon of the all-pairs sweep
+};
+
+/// Origin of robot `i` of the cell's fleet (ring position + jitter).
+[[nodiscard]] geom::Vec2 gather_origin(const GatherCell& cell, std::size_t i);
+
+/// Both sweeps of one gathering cell.
+struct GatherOutcome {
+  gather::GatherResult contact;   ///< min-pairwise (first contact) sweep
+  gather::GatherResult gathered;  ///< max-pairwise (all-pairs) sweep
+};
+
+/// Runs one gathering cell: builds the fleet on its origin ring and
+/// performs the first-contact and all-pairs sweeps.
+[[nodiscard]] GatherOutcome run_gather_cell(const GatherCell& cell);
+
+// ---------------------------------------------------------------------------
+// Work items
+// ---------------------------------------------------------------------------
+
+/// One materialised unit of work of any family, plus its display label.
+/// Only the payload matching `family` is meaningful.
+struct WorkItem {
+  Family family = Family::kRendezvous;
+  std::string label;
+  rendezvous::Scenario scenario;  ///< kRendezvous payload
+  SearchCell search;              ///< kSearch payload
+  GatherCell gather;              ///< kGather payload
+};
+
+}  // namespace rv::engine

@@ -1,8 +1,10 @@
 #include "engine/runner.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <exception>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -12,24 +14,61 @@ namespace rv::engine {
 
 namespace {
 
-constexpr const char* kStandardColumns[] = {
+constexpr const char* kRendezvousColumns[] = {
     "v",   "tau", "phi",  "chi",      "d",            "r",     "algorithm",
     "feasible", "met", "time", "distance", "min_distance", "evals", "segments"};
 
+constexpr const char* kSearchColumns[] = {
+    "d",      "r",          "angles",    "program",     "found", "missed",
+    "worst_time", "mean_time", "worst_angle", "evals", "segments"};
+
+constexpr const char* kGatherColumns[] = {
+    "n",        "ring_radius",  "r",          "algorithm",
+    "contact",  "contact_time", "pair_i",     "pair_j",
+    "gathered", "gathered_time", "min_max_pairwise", "evals", "segments"};
+
+/// Escapes a string per RFC 8259: quote, backslash, and *every*
+/// control character below 0x20 (named escapes where JSON has them,
+/// \u00XX otherwise).  Raw control characters in the output would make
+/// the document unparseable.
 std::string json_escape(const std::string& s) {
+  static constexpr char kHex[] = "0123456789abcdef";
   std::string out;
   out.reserve(s.size() + 2);
-  for (const char c : s) {
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
-      default: out += c;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += ch;
+        }
     }
   }
   return out;
+}
+
+/// JSON number token: RFC 8259 has no inf/nan literals, so non-finite
+/// values are emitted as null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  return io::format_double(v);
+}
+
+const char* gather_algorithm_name(const GatherCell& cell) {
+  return cell.algorithm == rendezvous::AlgorithmChoice::kAlgorithm4
+             ? "algorithm4"
+             : "algorithm7";
 }
 
 }  // namespace
@@ -46,43 +85,124 @@ ResultSet::ResultSet(std::vector<RunRecord> records)
 
 bool ResultSet::all_met() const {
   for (const RunRecord& rec : records_) {
-    if (!rec.outcome.sim.met) return false;
+    switch (rec.family) {
+      case Family::kRendezvous:
+        if (!rec.outcome.sim.met) return false;
+        break;
+      case Family::kSearch:
+        if (!rec.search_outcome.complete) return false;
+        break;
+      case Family::kGather:
+        if (!rec.gather_outcome.gathered.achieved) return false;
+        break;
+    }
   }
   return true;
+}
+
+ResultSet ResultSet::filtered(Family family) const {
+  std::vector<RunRecord> subset;
+  for (const RunRecord& rec : records_) {
+    if (rec.family == family) subset.push_back(rec);
+  }
+  return ResultSet(std::move(subset));
+}
+
+Family ResultSet::emission_family() const {
+  Family family = records_.empty() ? Family::kRendezvous : records_[0].family;
+  for (const RunRecord& rec : records_) {
+    if (rec.family != family) {
+      throw std::logic_error(
+          "ResultSet: emission needs a homogeneous family; split mixed runs "
+          "with filtered()");
+    }
+  }
+  return family;
 }
 
 io::CsvRow ResultSet::csv_header(const std::vector<Column>& extras) const {
   io::CsvRow header;
   if (any_label_) header.push_back("label");
-  for (const char* name : kStandardColumns) header.push_back(name);
+  switch (emission_family()) {
+    case Family::kRendezvous:
+      for (const char* name : kRendezvousColumns) header.push_back(name);
+      break;
+    case Family::kSearch:
+      for (const char* name : kSearchColumns) header.push_back(name);
+      break;
+    case Family::kGather:
+      for (const char* name : kGatherColumns) header.push_back(name);
+      break;
+  }
   for (const Column& col : extras) header.push_back(col.name);
   return header;
 }
 
 std::vector<io::CsvRow> ResultSet::csv_rows(
     const std::vector<Column>& extras) const {
+  (void)emission_family();  // reject mixed sets up front
   std::vector<io::CsvRow> rows;
   rows.reserve(records_.size());
   for (const RunRecord& rec : records_) {
-    const rendezvous::Scenario& s = rec.scenario;
-    const sim::SimResult& sim = rec.outcome.sim;
     io::CsvRow row;
     if (any_label_) row.push_back(rec.label);
-    row.push_back(io::format_double(s.attrs.speed));
-    row.push_back(io::format_double(s.attrs.time_unit));
-    row.push_back(io::format_double(s.attrs.orientation));
-    row.push_back(std::to_string(s.attrs.chirality));
-    row.push_back(io::format_double(rec.outcome.initial_distance));
-    row.push_back(io::format_double(s.visibility));
-    row.push_back(rec.outcome.algorithm_name);
-    row.push_back(rendezvous::is_feasible(rec.outcome.feasibility) ? "1"
-                                                                   : "0");
-    row.push_back(sim.met ? "1" : "0");
-    row.push_back(io::format_double(sim.time));
-    row.push_back(io::format_double(sim.distance));
-    row.push_back(io::format_double(sim.min_distance));
-    row.push_back(std::to_string(sim.evals));
-    row.push_back(std::to_string(sim.segments));
+    switch (rec.family) {
+      case Family::kRendezvous: {
+        const rendezvous::Scenario& s = rec.scenario;
+        const sim::SimResult& sim = rec.outcome.sim;
+        row.push_back(io::format_double(s.attrs.speed));
+        row.push_back(io::format_double(s.attrs.time_unit));
+        row.push_back(io::format_double(s.attrs.orientation));
+        row.push_back(std::to_string(s.attrs.chirality));
+        row.push_back(io::format_double(rec.outcome.initial_distance));
+        row.push_back(io::format_double(s.visibility));
+        row.push_back(rec.outcome.algorithm_name);
+        row.push_back(rendezvous::is_feasible(rec.outcome.feasibility) ? "1"
+                                                                       : "0");
+        row.push_back(sim.met ? "1" : "0");
+        row.push_back(io::format_double(sim.time));
+        row.push_back(io::format_double(sim.distance));
+        row.push_back(io::format_double(sim.min_distance));
+        row.push_back(std::to_string(sim.evals));
+        row.push_back(std::to_string(sim.segments));
+        break;
+      }
+      case Family::kSearch: {
+        const SearchCell& c = rec.search;
+        const SearchOutcome& o = rec.search_outcome;
+        row.push_back(io::format_double(c.distance));
+        row.push_back(io::format_double(c.visibility));
+        row.push_back(std::to_string(c.angles));
+        row.push_back(o.program_name);
+        row.push_back(std::to_string(o.found));
+        row.push_back(std::to_string(o.missed));
+        row.push_back(io::format_double(o.worst_time));
+        row.push_back(io::format_double(o.mean_time));
+        row.push_back(io::format_double(o.worst_angle));
+        row.push_back(std::to_string(o.evals));
+        row.push_back(std::to_string(o.segments));
+        break;
+      }
+      case Family::kGather: {
+        const GatherCell& c = rec.gather;
+        const GatherOutcome& o = rec.gather_outcome;
+        row.push_back(std::to_string(c.fleet.size()));
+        row.push_back(io::format_double(c.ring_radius));
+        row.push_back(io::format_double(c.visibility));
+        row.push_back(gather_algorithm_name(c));
+        row.push_back(o.contact.achieved ? "1" : "0");
+        row.push_back(io::format_double(o.contact.time));
+        row.push_back(std::to_string(o.contact.pair_i));
+        row.push_back(std::to_string(o.contact.pair_j));
+        row.push_back(o.gathered.achieved ? "1" : "0");
+        row.push_back(io::format_double(o.gathered.time));
+        row.push_back(io::format_double(o.gathered.min_max_pairwise));
+        row.push_back(std::to_string(o.contact.evals + o.gathered.evals));
+        row.push_back(
+            std::to_string(o.contact.segments + o.gathered.segments));
+        break;
+      }
+    }
     for (const Column& col : extras) row.push_back(col.value(rec));
     rows.push_back(std::move(row));
   }
@@ -98,28 +218,69 @@ std::string ResultSet::to_csv(const std::vector<Column>& extras) const {
 }
 
 std::string ResultSet::to_json(const std::vector<Column>& extras) const {
+  (void)emission_family();  // reject mixed sets up front
   std::ostringstream os;
   os << "[";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const RunRecord& rec = records_[i];
-    const rendezvous::Scenario& s = rec.scenario;
-    const sim::SimResult& sim = rec.outcome.sim;
     os << (i == 0 ? "\n" : ",\n") << "  {";
     if (any_label_) os << "\"label\": \"" << json_escape(rec.label) << "\", ";
-    os << "\"v\": " << io::format_double(s.attrs.speed)
-       << ", \"tau\": " << io::format_double(s.attrs.time_unit)
-       << ", \"phi\": " << io::format_double(s.attrs.orientation)
-       << ", \"chi\": " << s.attrs.chirality
-       << ", \"d\": " << io::format_double(rec.outcome.initial_distance)
-       << ", \"r\": " << io::format_double(s.visibility)
-       << ", \"algorithm\": \"" << json_escape(rec.outcome.algorithm_name)
-       << "\", \"feasible\": "
-       << (rendezvous::is_feasible(rec.outcome.feasibility) ? "true" : "false")
-       << ", \"met\": " << (sim.met ? "true" : "false")
-       << ", \"time\": " << io::format_double(sim.time)
-       << ", \"distance\": " << io::format_double(sim.distance)
-       << ", \"min_distance\": " << io::format_double(sim.min_distance)
-       << ", \"evals\": " << sim.evals << ", \"segments\": " << sim.segments;
+    switch (rec.family) {
+      case Family::kRendezvous: {
+        const rendezvous::Scenario& s = rec.scenario;
+        const sim::SimResult& sim = rec.outcome.sim;
+        os << "\"v\": " << json_number(s.attrs.speed)
+           << ", \"tau\": " << json_number(s.attrs.time_unit)
+           << ", \"phi\": " << json_number(s.attrs.orientation)
+           << ", \"chi\": " << s.attrs.chirality
+           << ", \"d\": " << json_number(rec.outcome.initial_distance)
+           << ", \"r\": " << json_number(s.visibility)
+           << ", \"algorithm\": \"" << json_escape(rec.outcome.algorithm_name)
+           << "\", \"feasible\": "
+           << (rendezvous::is_feasible(rec.outcome.feasibility) ? "true"
+                                                                : "false")
+           << ", \"met\": " << (sim.met ? "true" : "false")
+           << ", \"time\": " << json_number(sim.time)
+           << ", \"distance\": " << json_number(sim.distance)
+           << ", \"min_distance\": " << json_number(sim.min_distance)
+           << ", \"evals\": " << sim.evals
+           << ", \"segments\": " << sim.segments;
+        break;
+      }
+      case Family::kSearch: {
+        const SearchCell& c = rec.search;
+        const SearchOutcome& o = rec.search_outcome;
+        os << "\"d\": " << json_number(c.distance)
+           << ", \"r\": " << json_number(c.visibility)
+           << ", \"angles\": " << c.angles << ", \"program\": \""
+           << json_escape(o.program_name) << "\", \"found\": " << o.found
+           << ", \"missed\": " << o.missed
+           << ", \"worst_time\": " << json_number(o.worst_time)
+           << ", \"mean_time\": " << json_number(o.mean_time)
+           << ", \"worst_angle\": " << json_number(o.worst_angle)
+           << ", \"evals\": " << o.evals << ", \"segments\": " << o.segments;
+        break;
+      }
+      case Family::kGather: {
+        const GatherCell& c = rec.gather;
+        const GatherOutcome& o = rec.gather_outcome;
+        os << "\"n\": " << c.fleet.size()
+           << ", \"ring_radius\": " << json_number(c.ring_radius)
+           << ", \"r\": " << json_number(c.visibility) << ", \"algorithm\": \""
+           << json_escape(gather_algorithm_name(c)) << "\", \"contact\": "
+           << (o.contact.achieved ? "true" : "false")
+           << ", \"contact_time\": " << json_number(o.contact.time)
+           << ", \"pair_i\": " << o.contact.pair_i
+           << ", \"pair_j\": " << o.contact.pair_j << ", \"gathered\": "
+           << (o.gathered.achieved ? "true" : "false")
+           << ", \"gathered_time\": " << json_number(o.gathered.time)
+           << ", \"min_max_pairwise\": "
+           << json_number(o.gathered.min_max_pairwise)
+           << ", \"evals\": " << o.contact.evals + o.gathered.evals
+           << ", \"segments\": " << o.contact.segments + o.gathered.segments;
+        break;
+      }
+    }
     for (const Column& col : extras) {
       os << ", \"" << json_escape(col.name) << "\": \""
          << json_escape(col.value(rec)) << "\"";
@@ -132,42 +293,93 @@ std::string ResultSet::to_json(const std::vector<Column>& extras) const {
 
 io::Table ResultSet::to_table(const std::vector<Column>& extras,
                               int precision) const {
+  const Family family = emission_family();
   std::vector<std::string> names;
   if (any_label_) names.push_back("label");
-  for (const char* name : kStandardColumns) names.push_back(name);
+  switch (family) {
+    case Family::kRendezvous:
+      for (const char* name : kRendezvousColumns) names.push_back(name);
+      break;
+    case Family::kSearch:
+      for (const char* name : kSearchColumns) names.push_back(name);
+      break;
+    case Family::kGather:
+      for (const char* name : kGatherColumns) names.push_back(name);
+      break;
+  }
   for (const Column& col : extras) names.push_back(col.name);
   io::Table table(std::move(names));
   if (any_label_) table.set_align(0, io::Align::kLeft);
   for (const RunRecord& rec : records_) {
-    const rendezvous::Scenario& s = rec.scenario;
-    const sim::SimResult& sim = rec.outcome.sim;
     std::vector<std::string> row;
     if (any_label_) row.push_back(rec.label);
-    row.push_back(io::format_fixed(s.attrs.speed, 2));
-    row.push_back(io::format_fixed(s.attrs.time_unit, 3));
-    row.push_back(io::format_fixed(s.attrs.orientation, 3));
-    row.push_back(std::to_string(s.attrs.chirality));
-    row.push_back(io::format_fixed(rec.outcome.initial_distance, 2));
-    row.push_back(io::format_fixed(s.visibility, 3));
-    row.push_back(rec.outcome.algorithm_name);
-    row.push_back(rendezvous::is_feasible(rec.outcome.feasibility)
-                      ? "feasible"
-                      : "INFEASIBLE");
-    row.push_back(sim.met ? "yes" : "no");
-    row.push_back(io::format_fixed(sim.time, precision));
-    row.push_back(io::format_fixed(sim.distance, precision));
-    row.push_back(io::format_fixed(sim.min_distance, precision));
-    row.push_back(std::to_string(sim.evals));
-    row.push_back(std::to_string(sim.segments));
+    switch (rec.family) {
+      case Family::kRendezvous: {
+        const rendezvous::Scenario& s = rec.scenario;
+        const sim::SimResult& sim = rec.outcome.sim;
+        row.push_back(io::format_fixed(s.attrs.speed, 2));
+        row.push_back(io::format_fixed(s.attrs.time_unit, 3));
+        row.push_back(io::format_fixed(s.attrs.orientation, 3));
+        row.push_back(std::to_string(s.attrs.chirality));
+        row.push_back(io::format_fixed(rec.outcome.initial_distance, 2));
+        row.push_back(io::format_fixed(s.visibility, 3));
+        row.push_back(rec.outcome.algorithm_name);
+        row.push_back(rendezvous::is_feasible(rec.outcome.feasibility)
+                          ? "feasible"
+                          : "INFEASIBLE");
+        row.push_back(sim.met ? "yes" : "no");
+        row.push_back(io::format_fixed(sim.time, precision));
+        row.push_back(io::format_fixed(sim.distance, precision));
+        row.push_back(io::format_fixed(sim.min_distance, precision));
+        row.push_back(std::to_string(sim.evals));
+        row.push_back(std::to_string(sim.segments));
+        break;
+      }
+      case Family::kSearch: {
+        const SearchCell& c = rec.search;
+        const SearchOutcome& o = rec.search_outcome;
+        row.push_back(io::format_fixed(c.distance, 2));
+        row.push_back(io::format_fixed(c.visibility, 4));
+        row.push_back(std::to_string(c.angles));
+        row.push_back(o.program_name);
+        row.push_back(std::to_string(o.found));
+        row.push_back(std::to_string(o.missed));
+        row.push_back(io::format_fixed(o.worst_time, precision));
+        row.push_back(io::format_fixed(o.mean_time, precision));
+        row.push_back(io::format_fixed(o.worst_angle, 3));
+        row.push_back(std::to_string(o.evals));
+        row.push_back(std::to_string(o.segments));
+        break;
+      }
+      case Family::kGather: {
+        const GatherCell& c = rec.gather;
+        const GatherOutcome& o = rec.gather_outcome;
+        row.push_back(std::to_string(c.fleet.size()));
+        row.push_back(io::format_fixed(c.ring_radius, 2));
+        row.push_back(io::format_fixed(c.visibility, 3));
+        row.push_back(gather_algorithm_name(c));
+        row.push_back(o.contact.achieved ? "yes" : "no");
+        row.push_back(io::format_fixed(o.contact.time, precision));
+        row.push_back(std::to_string(o.contact.pair_i));
+        row.push_back(std::to_string(o.contact.pair_j));
+        row.push_back(o.gathered.achieved ? "yes" : "no");
+        row.push_back(io::format_fixed(o.gathered.time, precision));
+        row.push_back(io::format_fixed(o.gathered.min_max_pairwise, precision));
+        row.push_back(std::to_string(o.contact.evals + o.gathered.evals));
+        row.push_back(
+            std::to_string(o.contact.segments + o.gathered.segments));
+        break;
+      }
+    }
     for (const Column& col : extras) row.push_back(col.value(rec));
     table.add_row(std::move(row));
   }
   return table;
 }
 
-ResultSet run_scenarios(const std::vector<LabeledScenario>& scenarios,
+ResultSet run_scenarios(const std::vector<WorkItem>& work,
                         RunnerOptions options) {
-  const std::size_t n = scenarios.size();
+  const std::size_t n = work.size();
   std::vector<RunRecord> records(n);
   std::vector<std::exception_ptr> errors(n);
 
@@ -179,10 +391,26 @@ ResultSet run_scenarios(const std::vector<LabeledScenario>& scenarios,
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
     for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-      const LabeledScenario& ls = scenarios[i];
+      const WorkItem& item = work[i];
       try {
-        records[i] = RunRecord{ls.scenario, ls.label,
-                               rendezvous::run_scenario(ls.scenario)};
+        RunRecord rec;
+        rec.family = item.family;
+        rec.label = item.label;
+        switch (item.family) {
+          case Family::kRendezvous:
+            rec.scenario = item.scenario;
+            rec.outcome = rendezvous::run_scenario(item.scenario);
+            break;
+          case Family::kSearch:
+            rec.search = item.search;
+            rec.search_outcome = run_search_cell(item.search);
+            break;
+          case Family::kGather:
+            rec.gather = item.gather;
+            rec.gather_outcome = run_gather_cell(item.gather);
+            break;
+        }
+        records[i] = std::move(rec);
       } catch (...) {
         errors[i] = std::current_exception();
       }
@@ -204,8 +432,22 @@ ResultSet run_scenarios(const std::vector<LabeledScenario>& scenarios,
   return ResultSet(std::move(records));
 }
 
+ResultSet run_scenarios(const std::vector<LabeledScenario>& scenarios,
+                        RunnerOptions options) {
+  std::vector<WorkItem> work;
+  work.reserve(scenarios.size());
+  for (const LabeledScenario& ls : scenarios) {
+    WorkItem item;
+    item.family = Family::kRendezvous;
+    item.label = ls.label;
+    item.scenario = ls.scenario;
+    work.push_back(std::move(item));
+  }
+  return run_scenarios(work, options);
+}
+
 ResultSet run_scenarios(const ScenarioSet& set, RunnerOptions options) {
-  return run_scenarios(set.materialize(), options);
+  return run_scenarios(set.materialize_work(), options);
 }
 
 }  // namespace rv::engine

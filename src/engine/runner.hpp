@@ -2,26 +2,37 @@
 
 /// \file runner.hpp
 /// Deterministic parallel execution of a `ScenarioSet` and structured
-/// aggregation of the outcomes.
+/// aggregation of the outcomes, for every workload family.
 ///
-/// `run_scenarios` materialises the set, fans the scenarios out across
+/// `run_scenarios` materialises the set, fans the work items out across
 /// a pool of worker threads (work-stealing by atomic index), and stores
-/// each `rendezvous::Outcome` at its scenario's index.  Because results
-/// are placed by index — never by completion order — and every emitter
-/// formats through the deterministic `io` helpers, the rendered table,
-/// CSV and JSON are **byte-identical regardless of thread count**.
-/// Scenario runs are independent (the library keeps no global mutable
-/// state), so the sweep parallelises embarrassingly.
+/// each outcome at its item's index.  Because results are placed by
+/// index — never by completion order — and every emitter formats
+/// through the deterministic `io` helpers, the rendered table, CSV and
+/// JSON are **byte-identical regardless of thread count**.  Work items
+/// are independent (the library keeps no global mutable state), so the
+/// sweep parallelises embarrassingly; the search family's
+/// worst-over-angles reduction runs inside its item, in ring order.
 ///
-/// `ResultSet` is the io::Table-backed aggregate: standard columns for
-/// the scenario axes and outcome, plus caller-supplied derived columns
-/// (bounds, ratios, certificates) computed from each record.
+/// `ResultSet` is the io::Table-backed aggregate with *per-family
+/// standard columns*:
+///   * rendezvous — v, tau, phi, chi, d, r, algorithm, feasible, met,
+///     time, distance, min_distance, evals, segments;
+///   * search — d, r, angles, program, found, missed, worst_time,
+///     mean_time, worst_angle, evals, segments;
+///   * gather — n, ring_radius, r, algorithm, contact, contact_time,
+///     pair_i, pair_j, gathered, gathered_time, min_max_pairwise,
+///     evals, segments;
+/// plus caller-supplied derived columns (bounds, ratios, certificates)
+/// computed from each record.  Emission requires a homogeneous family;
+/// mixed runs are split per family with `filtered()`.
 
 #include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "engine/families.hpp"
 #include "engine/scenario_set.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
@@ -35,11 +46,20 @@ struct RunnerOptions {
   unsigned threads = 0;
 };
 
-/// One executed scenario: what ran and what happened.
+/// One executed work item: what ran and what happened.  Only the
+/// payload pair matching `family` is meaningful.
 struct RunRecord {
-  rendezvous::Scenario scenario;
+  Family family = Family::kRendezvous;
   std::string label;
+  // kRendezvous payload
+  rendezvous::Scenario scenario;
   rendezvous::Outcome outcome;
+  // kSearch payload
+  SearchCell search;
+  SearchOutcome search_outcome;
+  // kGather payload
+  GatherCell gather;
+  GatherOutcome gather_outcome;
 };
 
 /// A derived column: name plus a per-record formatter.
@@ -65,11 +85,17 @@ class ResultSet {
     return records_[i];
   }
 
-  /// True iff every scenario met before its horizon.
+  /// True iff every record succeeded: rendezvous met, search ring
+  /// complete, fleet gathered (per the record's family).
   [[nodiscard]] bool all_met() const;
 
-  /// The standard column names (label only when any record has one),
-  /// followed by the extras.
+  /// The subset of records belonging to `family` (for emitting mixed
+  /// runs one family at a time).
+  [[nodiscard]] ResultSet filtered(Family family) const;
+
+  /// The standard column names of the records' family (label only when
+  /// any record has one), followed by the extras.  \throws
+  /// std::logic_error when records of different families are mixed.
   [[nodiscard]] io::CsvRow csv_header(
       const std::vector<Column>& extras = {}) const;
   /// One CSV row per record, same order as `records()`.
@@ -78,8 +104,10 @@ class ResultSet {
   /// Full CSV document (header + rows).
   [[nodiscard]] std::string to_csv(
       const std::vector<Column>& extras = {}) const;
-  /// JSON array of row objects keyed by column name; numeric fields are
-  /// emitted as JSON numbers, met/feasible as booleans.
+  /// JSON array of row objects keyed by column name.  Strict RFC 8259:
+  /// numeric fields are emitted as JSON numbers (non-finite values as
+  /// null), met/feasible/contact/gathered as booleans, labels with
+  /// control characters escaped.
   [[nodiscard]] std::string to_json(
       const std::vector<Column>& extras = {}) const;
   /// io::Table with the standard + extra columns (for console reports).
@@ -87,17 +115,25 @@ class ResultSet {
                                    int precision = 4) const;
 
  private:
+  /// The single family of the records; \throws std::logic_error when
+  /// mixed (emission is per family).
+  [[nodiscard]] Family emission_family() const;
+
   std::vector<RunRecord> records_;
   bool any_label_ = false;
 };
 
-/// Runs every scenario in the set and aggregates the outcomes in
-/// scenario order.  Worker exceptions are re-thrown (first by index)
-/// after the pool joins.
+/// Runs every work item in the set (all families) and aggregates the
+/// outcomes in materialisation order.  Worker exceptions are re-thrown
+/// (first by index) after the pool joins.
 [[nodiscard]] ResultSet run_scenarios(const ScenarioSet& set,
                                       RunnerOptions options = {});
 
-/// Same, for an already-materialised list.
+/// Same, for an already-materialised multi-family work list.
+[[nodiscard]] ResultSet run_scenarios(const std::vector<WorkItem>& work,
+                                      RunnerOptions options = {});
+
+/// Same, for a rendezvous-only list.
 [[nodiscard]] ResultSet run_scenarios(
     const std::vector<LabeledScenario>& scenarios, RunnerOptions options = {});
 

@@ -1,5 +1,6 @@
 #include "engine/scenario_set.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace rv::engine {
@@ -85,54 +86,224 @@ ScenarioSet& ScenarioSet::label(
   return *this;
 }
 
-std::vector<LabeledScenario> ScenarioSet::materialize() const {
-  std::vector<LabeledScenario> out;
+ScenarioSet& ScenarioSet::add_search(SearchCell cell, std::string label) {
+  WorkItem item;
+  item.family = Family::kSearch;
+  item.label = std::move(label);
+  item.search = std::move(cell);
+  explicit_search_.push_back(std::move(item));
+  return *this;
+}
 
+ScenarioSet& ScenarioSet::search_base(SearchCell base_cell) {
+  search_base_ = std::move(base_cell);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::search_distances(std::vector<double> values) {
+  search_distances_ = std::move(values);
+  has_search_grid_ = true;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::search_radii(std::vector<double> values) {
+  search_radii_ = std::move(values);
+  has_search_grid_ = true;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::search_programs(std::vector<SearchProgram> values) {
+  search_programs_ = std::move(values);
+  has_search_grid_ = true;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::search_horizon(
+    std::function<double(const SearchCell&)> fn) {
+  search_horizon_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::search_filter(
+    std::function<bool(const SearchCell&)> fn) {
+  search_keep_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::search_label(
+    std::function<std::string(const SearchCell&)> fn) {
+  search_label_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::add_gather(GatherCell cell, std::string label) {
+  WorkItem item;
+  item.family = Family::kGather;
+  item.label = std::move(label);
+  item.gather = std::move(cell);
+  explicit_gather_.push_back(std::move(item));
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::gather_base(GatherCell base_cell) {
+  gather_base_ = std::move(base_cell);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::gather_sizes(std::vector<int> values) {
+  gather_sizes_ = std::move(values);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::gather_fleet(
+    std::function<std::vector<geom::RobotAttributes>(int)> fleet_fn) {
+  gather_fleet_fn_ = std::move(fleet_fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::gather_label(
+    std::function<std::string(const GatherCell&)> fn) {
+  gather_label_fn_ = std::move(fn);
+  return *this;
+}
+
+std::vector<WorkItem> ScenarioSet::materialize_work() const {
+  std::vector<WorkItem> out;
+
+  // ---- 1. rendezvous: explicit adds, then the attribute grid ----------
   auto emit = [&](rendezvous::Scenario s, std::string label) {
     // Filter first: horizon rules (e.g. theorem bounds) need not be
     // well defined on dropped cells such as infeasible corners.
     if (keep_fn_ && !keep_fn_(s)) return;
     if (horizon_fn_) s.max_time = horizon_fn_(s);
     if (label.empty() && label_fn_) label = label_fn_(s);
-    out.push_back({std::move(s), std::move(label)});
+    WorkItem item;
+    item.family = Family::kRendezvous;
+    item.label = std::move(label);
+    item.scenario = std::move(s);
+    out.push_back(std::move(item));
   };
 
   for (const LabeledScenario& ls : explicit_) emit(ls.scenario, ls.label);
 
-  if (!has_grid_) return out;
+  if (has_grid_) {
+    // Unset axes contribute the base value, so the nesting below always
+    // covers the full cross product.
+    const std::vector<double> vs =
+        speeds_.empty() ? std::vector<double>{base_.attrs.speed} : speeds_;
+    const std::vector<double> taus =
+        time_units_.empty() ? std::vector<double>{base_.attrs.time_unit}
+                            : time_units_;
+    const std::vector<double> phis =
+        orientations_.empty() ? std::vector<double>{base_.attrs.orientation}
+                              : orientations_;
+    const std::vector<int> chis =
+        chiralities_.empty() ? std::vector<int>{base_.attrs.chirality}
+                             : chiralities_;
+    const std::vector<geom::Vec2> offs =
+        offsets_.empty() ? std::vector<geom::Vec2>{base_.offset} : offsets_;
 
-  // Unset axes contribute the base value, so the nesting below always
-  // covers the full cross product.
-  const std::vector<double> vs =
-      speeds_.empty() ? std::vector<double>{base_.attrs.speed} : speeds_;
-  const std::vector<double> taus =
-      time_units_.empty() ? std::vector<double>{base_.attrs.time_unit}
-                          : time_units_;
-  const std::vector<double> phis =
-      orientations_.empty() ? std::vector<double>{base_.attrs.orientation}
-                            : orientations_;
-  const std::vector<int> chis =
-      chiralities_.empty() ? std::vector<int>{base_.attrs.chirality}
-                           : chiralities_;
-  const std::vector<geom::Vec2> offs =
-      offsets_.empty() ? std::vector<geom::Vec2>{base_.offset} : offsets_;
-
-  for (const double v : vs) {
-    for (const double tau : taus) {
-      for (const double phi : phis) {
-        for (const int chi : chis) {
-          for (const geom::Vec2& off : offs) {
-            rendezvous::Scenario s = base_;
-            s.attrs.speed = v;
-            s.attrs.time_unit = tau;
-            s.attrs.orientation = phi;
-            s.attrs.chirality = chi;
-            s.offset = off;
-            emit(std::move(s), "");
+    for (const double v : vs) {
+      for (const double tau : taus) {
+        for (const double phi : phis) {
+          for (const int chi : chis) {
+            for (const geom::Vec2& off : offs) {
+              rendezvous::Scenario s = base_;
+              s.attrs.speed = v;
+              s.attrs.time_unit = tau;
+              s.attrs.orientation = phi;
+              s.attrs.chirality = chi;
+              s.offset = off;
+              emit(std::move(s), "");
+            }
           }
         }
       }
     }
+  }
+
+  // ---- 2. search: explicit adds, then distances ⊃ radii ⊃ programs ----
+  auto emit_search = [&](SearchCell cell, std::string label) {
+    if (search_keep_fn_ && !search_keep_fn_(cell)) return;
+    if (search_horizon_fn_) cell.max_time = search_horizon_fn_(cell);
+    if (label.empty() && search_label_fn_) label = search_label_fn_(cell);
+    WorkItem item;
+    item.family = Family::kSearch;
+    item.label = std::move(label);
+    item.search = std::move(cell);
+    out.push_back(std::move(item));
+  };
+
+  for (const WorkItem& item : explicit_search_) {
+    emit_search(item.search, item.label);
+  }
+
+  if (has_search_grid_) {
+    const std::vector<double> ds =
+        search_distances_.empty() ? std::vector<double>{search_base_.distance}
+                                  : search_distances_;
+    const std::vector<double> rs =
+        search_radii_.empty() ? std::vector<double>{search_base_.visibility}
+                              : search_radii_;
+    const std::vector<SearchProgram> progs =
+        search_programs_.empty()
+            ? std::vector<SearchProgram>{search_base_.program}
+            : search_programs_;
+    for (const double d : ds) {
+      for (const double r : rs) {
+        for (const SearchProgram prog : progs) {
+          SearchCell cell = search_base_;
+          cell.distance = d;
+          cell.visibility = r;
+          cell.program = prog;
+          emit_search(std::move(cell), "");
+        }
+      }
+    }
+  }
+
+  // ---- 3. gather: explicit adds, then the fleet-size grid -------------
+  auto emit_gather = [&](GatherCell cell, std::string label) {
+    if (label.empty() && gather_label_fn_) label = gather_label_fn_(cell);
+    WorkItem item;
+    item.family = Family::kGather;
+    item.label = std::move(label);
+    item.gather = std::move(cell);
+    out.push_back(std::move(item));
+  };
+
+  for (const WorkItem& item : explicit_gather_) {
+    emit_gather(item.gather, item.label);
+  }
+
+  for (const int n : gather_sizes_) {
+    if (n < 2) {
+      throw std::invalid_argument("ScenarioSet: gather size must be >= 2");
+    }
+    GatherCell cell = gather_base_;
+    cell.fleet = gather_fleet_fn_
+                     ? gather_fleet_fn_(n)
+                     : std::vector<geom::RobotAttributes>(
+                           static_cast<std::size_t>(n),
+                           geom::reference_attributes());
+    emit_gather(std::move(cell), "");
+  }
+
+  return out;
+}
+
+std::vector<LabeledScenario> ScenarioSet::materialize() const {
+  if (!explicit_search_.empty() || has_search_grid_ ||
+      !explicit_gather_.empty() || !gather_sizes_.empty()) {
+    throw std::logic_error(
+        "ScenarioSet::materialize: set declares search/gather cells; use "
+        "materialize_work()");
+  }
+  std::vector<WorkItem> work = materialize_work();
+  std::vector<LabeledScenario> out;
+  out.reserve(work.size());
+  for (WorkItem& item : work) {
+    out.push_back({std::move(item.scenario), std::move(item.label)});
   }
   return out;
 }

@@ -1,51 +1,57 @@
 #pragma once
 
 /// \file scenario_set.hpp
-/// Declarative description of a batch of rendezvous scenarios.
+/// Declarative description of a batch of engine work, spanning the
+/// three workload families (see engine/families.hpp).
 ///
-/// Every experiment in the paper is a parameter sweep over
-/// `rendezvous::Scenario`s — a grid over hidden attributes (v, τ, φ, χ)
-/// and starting offsets, or an explicit list of interesting cells.
-/// `ScenarioSet` captures that sweep as *data*: axes for the four
-/// attributes and the offset, base knobs (r, algorithm, horizon), an
-/// optional per-scenario horizon rule (e.g. "theorem bound + slack"), a
-/// cell filter (e.g. "drop the infeasible corner"), and a labeller.
+/// Every experiment in the paper is a parameter sweep: a grid over
+/// rendezvous attributes (v, τ, φ, χ) and offsets, a (d, r, program)
+/// grid of search instances evaluated over a target-angle ring, or a
+/// list of gathering fleets on origin rings.  `ScenarioSet` captures
+/// all of them as *data*: axes, base cells, and per-cell hooks
+/// (horizon rules, filters, labellers) per family.
 ///
-/// Grid cells are materialised in a fixed documented nesting —
-///   speeds ⊃ time_units ⊃ orientations ⊃ chiralities ⊃ offsets
-/// (speeds outermost) — after any explicitly `add`ed scenarios, so the
-/// order (and therefore every downstream table/CSV) is deterministic.
+/// Materialisation order is fixed and documented so the output of every
+/// downstream table/CSV is deterministic:
+///   1. explicitly `add`ed rendezvous scenarios, then the rendezvous
+///      grid (speeds ⊃ time_units ⊃ orientations ⊃ chiralities ⊃
+///      offsets, speeds outermost);
+///   2. explicitly `add_search`ed cells, then the search grid
+///      (search_distances ⊃ search_radii ⊃ search_programs);
+///   3. explicitly `add_gather`ed cells, then the gather size grid.
 ///
 /// Run a set with `engine::run_scenarios` (runner.hpp), which fans the
-/// scenarios out across a thread pool and aggregates the outcomes.
+/// work items out across a thread pool and aggregates the outcomes.
 
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "engine/families.hpp"
 #include "geom/vec2.hpp"
 #include "rendezvous/core.hpp"
 
 namespace rv::engine {
 
-/// One materialised scenario plus its display label.
+/// One materialised rendezvous scenario plus its display label (the
+/// historical rendezvous-only view; `WorkItem` is the general form).
 struct LabeledScenario {
   rendezvous::Scenario scenario;
   std::string label;
 };
 
-/// A declarative grid/list of scenarios.  All setters return *this for
-/// fluent declaration-style use.
+/// A declarative multi-family grid/list of engine work.  All setters
+/// return *this for fluent declaration-style use.
 class ScenarioSet {
  public:
   ScenarioSet() = default;
 
-  /// Appends one explicit scenario (kept before the grid cells, in
-  /// insertion order).  The horizon/filter/label hooks apply to these
-  /// too.
+  /// Appends one explicit rendezvous scenario (kept before the grid
+  /// cells, in insertion order).  The horizon/filter/label hooks apply
+  /// to these too.
   ScenarioSet& add(rendezvous::Scenario scenario, std::string label = "");
 
-  // --- grid axes (an unset axis contributes the base value) ------------
+  // --- rendezvous grid axes (an unset axis contributes the base value) --
   ScenarioSet& speeds(std::vector<double> values);
   ScenarioSet& time_units(std::vector<double> values);
   ScenarioSet& orientations(std::vector<double> values);
@@ -54,13 +60,13 @@ class ScenarioSet {
   /// Sugar: offsets {d, 0} for each distance.
   ScenarioSet& distances(std::vector<double> values);
 
-  // --- base knobs applied to every grid cell ---------------------------
+  // --- rendezvous base knobs applied to every grid cell -----------------
   ScenarioSet& base(rendezvous::Scenario base_scenario);
   ScenarioSet& visibility(double r);
   ScenarioSet& algorithm(rendezvous::AlgorithmChoice choice);
   ScenarioSet& max_time(double horizon);
 
-  // --- per-scenario hooks ----------------------------------------------
+  // --- rendezvous per-scenario hooks ------------------------------------
   /// Horizon override evaluated per materialised scenario (e.g. a
   /// theorem bound plus slack).
   ScenarioSet& horizon(
@@ -73,10 +79,51 @@ class ScenarioSet {
   ScenarioSet& label(
       std::function<std::string(const rendezvous::Scenario&)> label_fn);
 
-  /// Expands the declaration into the concrete scenario list.
+  // --- search family ----------------------------------------------------
+  /// Appends one explicit search cell (kept before the search grid, in
+  /// insertion order).  The search hooks apply to these too.
+  ScenarioSet& add_search(SearchCell cell, std::string label = "");
+  /// Base cell for the search grid (angle ring, program, attrs, ...).
+  ScenarioSet& search_base(SearchCell base_cell);
+  /// Grid axes: target distances ⊃ visibility radii ⊃ programs
+  /// (distances outermost).  An unset axis contributes the base value.
+  ScenarioSet& search_distances(std::vector<double> values);
+  ScenarioSet& search_radii(std::vector<double> values);
+  ScenarioSet& search_programs(std::vector<SearchProgram> values);
+  /// Per-cell horizon rule (e.g. "Theorem 1 bound + slack").
+  ScenarioSet& search_horizon(std::function<double(const SearchCell&)> fn);
+  /// Keep-predicate over search cells (e.g. "bound applicable").
+  ScenarioSet& search_filter(std::function<bool(const SearchCell&)> fn);
+  /// Label generator for search cells without an explicit label.
+  ScenarioSet& search_label(std::function<std::string(const SearchCell&)> fn);
+
+  // --- gather family ----------------------------------------------------
+  /// Appends one explicit gathering cell (kept before the gather size
+  /// grid, in insertion order).
+  ScenarioSet& add_gather(GatherCell cell, std::string label = "");
+  /// Base cell for the gather size grid (ring, visibility, horizons).
+  ScenarioSet& gather_base(GatherCell base_cell);
+  /// Grid axis over fleet sizes; each size is expanded through the
+  /// fleet builder (`gather_fleet`), or — when no builder is set — a
+  /// fleet of n reference robots.
+  ScenarioSet& gather_sizes(std::vector<int> values);
+  /// Fleet builder for the size grid: n ↦ attributes of the n robots.
+  ScenarioSet& gather_fleet(
+      std::function<std::vector<geom::RobotAttributes>(int)> fleet_fn);
+  /// Label generator for gather cells without an explicit label.
+  ScenarioSet& gather_label(std::function<std::string(const GatherCell&)> fn);
+
+  /// Expands the declaration into the concrete multi-family work list
+  /// (the fixed materialisation order documented in the file comment).
+  [[nodiscard]] std::vector<WorkItem> materialize_work() const;
+
+  /// Historical rendezvous-only view: the rendezvous items of
+  /// `materialize_work()`.  \throws std::logic_error if the set also
+  /// declares search or gather cells (use `materialize_work`).
   [[nodiscard]] std::vector<LabeledScenario> materialize() const;
 
  private:
+  // rendezvous
   std::vector<LabeledScenario> explicit_;
   std::vector<double> speeds_;
   std::vector<double> time_units_;
@@ -88,6 +135,22 @@ class ScenarioSet {
   std::function<double(const rendezvous::Scenario&)> horizon_fn_;
   std::function<bool(const rendezvous::Scenario&)> keep_fn_;
   std::function<std::string(const rendezvous::Scenario&)> label_fn_;
+  // search
+  std::vector<WorkItem> explicit_search_;
+  SearchCell search_base_;
+  std::vector<double> search_distances_;
+  std::vector<double> search_radii_;
+  std::vector<SearchProgram> search_programs_;
+  bool has_search_grid_ = false;
+  std::function<double(const SearchCell&)> search_horizon_fn_;
+  std::function<bool(const SearchCell&)> search_keep_fn_;
+  std::function<std::string(const SearchCell&)> search_label_fn_;
+  // gather
+  std::vector<WorkItem> explicit_gather_;
+  GatherCell gather_base_;
+  std::vector<int> gather_sizes_;
+  std::function<std::vector<geom::RobotAttributes>(int)> gather_fleet_fn_;
+  std::function<std::string(const GatherCell&)> gather_label_fn_;
 };
 
 }  // namespace rv::engine

@@ -17,8 +17,9 @@
 /// Lipschitz with constant vᵢ + vⱼ, so the sweep advances by the
 /// largest certified step (see engine/contact_sweep.hpp).
 ///
-/// The experiments built on this (bench_x1_gathering) are exploratory:
-/// the paper proves nothing about N > 2, and the measured outcomes are
+/// The experiments built on this (bench_x1_gathering, via the engine's
+/// gather workload family — engine/families.hpp) are exploratory: the
+/// paper proves nothing about N > 2, and the measured outcomes are
 /// reported as observations, not reproductions.
 
 #include <cstdint>
@@ -50,8 +51,8 @@ struct GatherOptions {
 struct GatherResult {
   bool achieved = false;     ///< event occurred before the horizon
   double time = 0.0;         ///< event time (or horizon)
-  int pair_i = -1;           ///< for kFirstContact: the meeting pair
-  int pair_j = -1;
+  int pair_i = -1;  ///< extremal pair at `time` (kFirstContact: the meeting
+  int pair_j = -1;  ///< pair; kAllPairsGathered: the widest pair)
   double max_pairwise = 0.0;      ///< sweep metric at `time`
   double min_max_pairwise = 0.0;  ///< smallest max-pairwise seen (diagnostic)
   std::uint64_t evals = 0;

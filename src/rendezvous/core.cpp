@@ -35,11 +35,19 @@ Outcome run_scenario(const Scenario& scenario) {
   Outcome outcome;
   outcome.feasibility = classify(attrs);
   outcome.initial_distance = d;
-  outcome.algorithm_name =
-      scenario.algorithm == AlgorithmChoice::kAlgorithm4 ? "algorithm4"
-                                                         : "algorithm7";
-  outcome.sim = sim::simulate_rendezvous(program_factory(scenario.algorithm),
-                                         attrs, scenario.offset, options);
+  if (scenario.program) {
+    outcome.algorithm_name = scenario.program_name.empty()
+                                 ? scenario.program()->name()
+                                 : scenario.program_name;
+    outcome.sim = sim::simulate_rendezvous(scenario.program, attrs,
+                                           scenario.offset, options);
+  } else {
+    outcome.algorithm_name =
+        scenario.algorithm == AlgorithmChoice::kAlgorithm4 ? "algorithm4"
+                                                           : "algorithm7";
+    outcome.sim = sim::simulate_rendezvous(program_factory(scenario.algorithm),
+                                           attrs, scenario.offset, options);
+  }
   return outcome;
 }
 

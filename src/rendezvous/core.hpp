@@ -32,6 +32,13 @@ struct Scenario {
   double visibility = 0.05;      ///< r
   AlgorithmChoice algorithm = AlgorithmChoice::kAlgorithm7;
   double max_time = 1e9;         ///< simulation horizon
+  /// Optional custom common program overriding `algorithm` (used by the
+  /// ablation experiments, e.g. the A1 active-phase-order variants).
+  /// Must return a fresh Program each call: invoked once per robot,
+  /// plus once more to resolve the reported name when `program_name`
+  /// is left empty.
+  std::function<std::shared_ptr<traj::Program>()> program;
+  std::string program_name;      ///< reported name when `program` is set
 };
 
 /// Scenario outcome: the simulator result plus derived quantities.

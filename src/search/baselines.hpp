@@ -19,7 +19,9 @@
 ///    [−2^m, 2^m]²; exercises line-only trajectories.
 ///
 /// Both baselines *solve* search (they are correct universal
-/// strategies); they are asymptotically slower, which E9 measures.
+/// strategies); they are asymptotically slower, which E9 measures by
+/// declaring them as `engine::SearchProgram` choices of the engine's
+/// search workload family (engine/families.hpp).
 
 #include <cstdint>
 #include <memory>

@@ -4,12 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
+#include <limits>
+#include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "engine/contact_sweep.hpp"
+#include "engine/families.hpp"
 #include "engine/runner.hpp"
 #include "engine/scenario_set.hpp"
 #include "gather/multi_simulator.hpp"
@@ -18,6 +23,9 @@
 #include "mathx/constants.hpp"
 #include "rendezvous/algorithm7.hpp"
 #include "rendezvous/core.hpp"
+#include "rendezvous/variants.hpp"
+#include "search/times.hpp"
+#include "search/variants.hpp"
 #include "sim/simulator.hpp"
 #include "traj/path.hpp"
 #include "traj/program.hpp"
@@ -40,6 +48,214 @@ std::shared_ptr<rv::traj::Program> straight_line(const Vec2& to) {
   p.line_to(to);
   return std::make_shared<PathProgram>(p, "line");
 }
+
+// ---------------------------------------------------------------------------
+// A strict (RFC 8259) JSON parser for an array of flat objects — just
+// enough to prove the emitters produce *parseable* JSON.  Throws
+// std::runtime_error on any violation: raw control characters inside
+// strings, bare inf/nan tokens, malformed numbers, trailing garbage.
+// Scalar values are returned as strings: string values unescaped,
+// numbers/booleans/null as their raw token text.
+// ---------------------------------------------------------------------------
+
+class StrictJson {
+ public:
+  using Row = std::map<std::string, std::string>;
+
+  static std::vector<Row> parse_rows(const std::string& text) {
+    StrictJson p(text);
+    p.skip_ws();
+    std::vector<Row> rows = p.parse_array();
+    p.skip_ws();
+    if (p.pos_ != p.s_.size()) p.fail("trailing content");
+    return rows;
+  }
+
+ private:
+  explicit StrictJson(const std::string& s) : s_(s) {}
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("StrictJson: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= s_.size()) throw std::runtime_error("StrictJson: EOF");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::vector<Row> parse_array() {
+    expect('[');
+    std::vector<Row> rows;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return rows;
+    }
+    while (true) {
+      skip_ws();
+      rows.push_back(parse_object());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return rows;
+    }
+  }
+
+  Row parse_object() {
+    expect('{');
+    Row row;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return row;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      row[key] = parse_scalar();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return row;
+    }
+  }
+
+  std::string parse_scalar() {
+    const char c = peek();
+    if (c == '"') return parse_string();
+    if (c == 't') return parse_literal("true");
+    if (c == 'f') return parse_literal("false");
+    if (c == 'n') return parse_literal("null");
+    return parse_number();
+  }
+
+  std::string parse_literal(const std::string& lit) {
+    if (s_.compare(pos_, lit.size(), lit) != 0) fail("bad literal");
+    pos_ += lit.size();
+    return lit;
+  }
+
+  std::string parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      fail("bad number");  // catches bare inf / nan
+    }
+    if (s_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        fail("bad fraction");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        fail("bad exponent");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return s_.substr(start, pos_ - start);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) fail("dangling escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("short \\u escape");
+            unsigned value = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              value <<= 4;
+              if (h >= '0' && h <= '9') {
+                value |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                value |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                value |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u digit");
+              }
+            }
+            if (value < 0x80) {
+              out += static_cast<char>(value);
+            } else {
+              fail("non-ASCII \\u escape (not needed by the emitters)");
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+        continue;
+      }
+      out += static_cast<char>(c);
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
 
 // ---------------------------------------------------------------------------
 // ContactSweep core
@@ -320,6 +536,107 @@ TEST(ResultSet, JsonIsWellFormedEnoughToRoundTripKeys) {
   EXPECT_EQ(count, results.size());
 }
 
+// ---------------------------------------------------------------------------
+// Certified event reporting: pair/metric/positions must be mutually
+// consistent at the *bisected* event time, not at the detection
+// evaluation (regression for the stale-pair bug).
+// ---------------------------------------------------------------------------
+
+TEST(ContactSweep, MaxPairwiseBisectionReportsPairAtCertifiedTime) {
+  // Collinear construction.  A walks right from 0 (x_A = t), B walks
+  // left from 5.3 (x_B = 5.3 − t), C sits at 3.4.  Pairwise distances:
+  //   AB = |5.3 − 2t|   (≤ 1 on [2.15, 3.25], 0 at t = 2.65)
+  //   AC = |3.4 − t|    (≤ 1 from t = 2.4 — the *binding* pair)
+  //   BC = |1.9 − t|    (≤ 1 on [0.9, 2.9])
+  // The max-pairwise event (all pairs within r = 1) starts at t = 2.4
+  // with AC the extremal pair.  The sweep's first certified step lands
+  // at t = 2.15 (metric 1.25); with min_step = 0.65 the Zeno guard then
+  // forces the next evaluation to t = 2.8, *inside* the event window,
+  // where the extremal pair is BC (0.9) — not AC.  Bisection certifies
+  // the crossing back at t = 2.4, so the reported pair must be AC at
+  // the certified time, not the stale detection pair BC.
+  std::vector<RobotSpec> robots;
+  robots.push_back({straight_line({10.0, 0.0}), RobotAttributes{},
+                    Vec2{0.0, 0.0}});
+  robots.push_back({straight_line({-10.0, 0.0}), RobotAttributes{},
+                    Vec2{5.3, 0.0}});
+  robots.push_back({std::make_shared<StationaryProgram>(), RobotAttributes{},
+                    Vec2{3.4, 0.0}});
+  SweepOptions opts;
+  opts.visibility = 1.0;
+  opts.max_time = 1e3;
+  opts.min_step = 0.65;
+  ContactSweep sweep(std::move(robots), SweepMetric::kMaxPairwise, opts);
+  const auto res = sweep.run();
+  ASSERT_TRUE(res.event);
+  EXPECT_NEAR(res.time, 2.4, 1e-6);
+  EXPECT_NEAR(res.metric, 1.0, 1e-6);
+  // The reported pair is the one extremal at the certified time...
+  EXPECT_EQ(res.pair_i, 0);
+  EXPECT_EQ(res.pair_j, 2);
+  // ...and pair/metric/positions agree exactly.
+  ASSERT_EQ(res.positions.size(), 3u);
+  double worst = 0.0;
+  int wi = -1, wj = -1;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = i + 1; j < 3; ++j) {
+      const double d = geom::distance(res.positions[i], res.positions[j]);
+      if (d > worst) {
+        worst = d;
+        wi = i;
+        wj = j;
+      }
+    }
+  }
+  EXPECT_EQ(res.metric, worst);
+  EXPECT_EQ(res.pair_i, wi);
+  EXPECT_EQ(res.pair_j, wj);
+}
+
+TEST(ContactSweep, CoincidentRobotsStillReportAPair) {
+  // Degenerate all-zero distances: the max-pairwise event fires at
+  // t = 0 with metric 0, and the extremal pair must still be set (the
+  // first pair in scan order), not left at -1.
+  std::vector<RobotSpec> robots;
+  for (int i = 0; i < 3; ++i) {
+    robots.push_back({std::make_shared<StationaryProgram>(), RobotAttributes{},
+                      Vec2{1.0, 1.0}});
+  }
+  SweepOptions opts;
+  opts.visibility = 0.1;
+  opts.max_time = 10.0;
+  ContactSweep sweep(std::move(robots), SweepMetric::kMaxPairwise, opts);
+  const auto res = sweep.run();
+  ASSERT_TRUE(res.event);
+  EXPECT_EQ(res.time, 0.0);
+  EXPECT_EQ(res.metric, 0.0);
+  EXPECT_EQ(res.pair_i, 0);
+  EXPECT_EQ(res.pair_j, 1);
+}
+
+TEST(ContactSweep, HorizonReportReportsExtremalPairConsistently) {
+  // Three identical robots on a unit ring never gather: at the horizon
+  // the report must still carry a pair consistent with the returned
+  // positions/metric (it used to stay at -1).
+  std::vector<RobotSpec> robots;
+  for (int i = 0; i < 3; ++i) {
+    robots.push_back({rendezvous::make_rendezvous_program(),
+                      RobotAttributes{},
+                      geom::polar(1.0, 2.0 * mathx::kPi * i / 3.0)});
+  }
+  SweepOptions opts;
+  opts.visibility = 0.05;
+  opts.max_time = 50.0;
+  ContactSweep sweep(std::move(robots), SweepMetric::kMaxPairwise, opts);
+  const auto res = sweep.run();
+  ASSERT_FALSE(res.event);
+  ASSERT_EQ(res.positions.size(), 3u);
+  ASSERT_GE(res.pair_i, 0);
+  ASSERT_GT(res.pair_j, res.pair_i);
+  EXPECT_EQ(res.metric, geom::distance(res.positions[res.pair_i],
+                                       res.positions[res.pair_j]));
+}
+
 TEST(Runner, AdapterParityGatherVsTwoRobot) {
   // A 2-robot gather in first-contact mode and the two-robot simulator
   // must report the same event through their shared engine core.
@@ -343,6 +660,343 @@ TEST(Runner, AdapterParityGatherVsTwoRobot) {
   ASSERT_TRUE(multi.achieved);
   EXPECT_EQ(two.time, multi.time);
   EXPECT_EQ(two.evals, multi.evals);
+}
+
+// ---------------------------------------------------------------------------
+// Strict JSON / CSV emission round trips (hostile labels, non-finite
+// fields) — regression for the raw-control-character and bare-inf/nan
+// bugs in ResultSet::to_json.
+// ---------------------------------------------------------------------------
+
+engine::ResultSet hostile_result_set() {
+  engine::RunRecord rec;
+  rec.family = engine::Family::kRendezvous;
+  rec.label = std::string("evil \x01\x02\b\f\"back\\slash\",\nnewline\tend");
+  rec.scenario.attrs.speed = 2.0;
+  rec.scenario.visibility = 0.25;
+  rec.outcome.initial_distance = 1.0;
+  rec.outcome.algorithm_name = "algo\fname";
+  rec.outcome.sim.met = false;
+  rec.outcome.sim.time = std::numeric_limits<double>::infinity();
+  rec.outcome.sim.distance = std::numeric_limits<double>::quiet_NaN();
+  rec.outcome.sim.min_distance = 0.5;
+  return engine::ResultSet({rec});
+}
+
+TEST(ResultSet, JsonEscapesControlCharactersAndNullsNonFinite) {
+  const engine::ResultSet results = hostile_result_set();
+  const std::string json = results.to_json(
+      {{"weird\x1f" "col", [](const engine::RunRecord&) {
+          return std::string("cell with \x7f and \x02 ctl");
+        }}});
+  // Must parse as strict JSON...
+  std::vector<StrictJson::Row> rows;
+  ASSERT_NO_THROW(rows = StrictJson::parse_rows(json)) << json;
+  ASSERT_EQ(rows.size(), 1u);
+  // ...the hostile label round-trips exactly...
+  EXPECT_EQ(rows[0].at("label"), results[0].label);
+  EXPECT_EQ(rows[0].at("algorithm"), "algo\fname");
+  EXPECT_EQ(rows[0].at("weird\x1f" "col"), "cell with \x7f and \x02 ctl");
+  // ...and non-finite numbers are emitted as null, not bare inf/nan.
+  EXPECT_EQ(rows[0].at("time"), "null");
+  EXPECT_EQ(rows[0].at("distance"), "null");
+  EXPECT_EQ(rows[0].at("min_distance"), "0.5");
+  EXPECT_EQ(rows[0].at("met"), "false");
+}
+
+TEST(ResultSet, CsvRoundTripsHostileLabels) {
+  const engine::ResultSet results = hostile_result_set();
+  const auto parsed = io::parse_csv(results.to_csv());
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], results.csv_header());
+  EXPECT_EQ(parsed[1].front(), results[0].label);  // quotes/commas/newlines
+}
+
+TEST(ResultSet, RealSweepJsonIsStrictlyParseable) {
+  const auto results = engine::run_scenarios(small_grid());
+  std::vector<StrictJson::Row> rows;
+  ASSERT_NO_THROW(rows = StrictJson::parse_rows(results.to_json()));
+  ASSERT_EQ(rows.size(), results.size());
+  EXPECT_EQ(rows[0].at("algorithm"), "algorithm7");
+}
+
+// ---------------------------------------------------------------------------
+// Workload families: search cells (engine-side worst-over-angles
+// reducer), gather cells, mixed sets, per-family emission.
+// ---------------------------------------------------------------------------
+
+TEST(Families, SearchGridMaterializesAndReduces) {
+  engine::SearchCell base;
+  base.angles = 4;
+  base.angle_offset = 0.03;
+  engine::ScenarioSet set;
+  set.search_base(base)
+      .search_distances({1.0})
+      .search_radii({0.5, 0.25})
+      .search_horizon([](const engine::SearchCell& c) {
+        return rv::search::theorem1_bound(c.distance, c.visibility) + 1.0;
+      });
+  const auto results = engine::run_scenarios(set);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results.all_met());
+  for (const engine::RunRecord& rec : results) {
+    EXPECT_EQ(rec.family, engine::Family::kSearch);
+    const engine::SearchOutcome& out = rec.search_outcome;
+    EXPECT_EQ(out.found, 4);
+    EXPECT_EQ(out.missed, 0);
+    EXPECT_TRUE(out.complete);
+    EXPECT_GE(out.worst_time, out.mean_time);
+    EXPECT_EQ(out.program_name, "algorithm4");
+  }
+  // Per-family standard columns + strict JSON.
+  const auto header = results.csv_header();
+  EXPECT_EQ(header.front(), "d");
+  EXPECT_EQ(header.back(), "segments");
+  std::vector<StrictJson::Row> rows;
+  ASSERT_NO_THROW(rows = StrictJson::parse_rows(results.to_json()));
+  EXPECT_EQ(rows[0].at("found"), "4");
+  EXPECT_EQ(rows[0].at("program"), "algorithm4");
+}
+
+TEST(Families, GatherCellRunsBothSweeps) {
+  engine::GatherCell cell;
+  cell.fleet = {RobotAttributes{}, [] {
+                  RobotAttributes a;
+                  a.speed = 2.0;
+                  return a;
+                }()};
+  cell.ring_radius = 0.5;
+  cell.visibility = 0.2;
+  cell.contact_max_time = 1e5;
+  cell.gather_max_time = 1e5;
+  engine::ScenarioSet set;
+  set.add_gather(cell, "pair");
+  const auto results = engine::run_scenarios(set);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].family, engine::Family::kGather);
+  const engine::GatherOutcome& out = results[0].gather_outcome;
+  // Two robots: first contact and all-pairs coincide.
+  ASSERT_TRUE(out.contact.achieved);
+  ASSERT_TRUE(out.gathered.achieved);
+  EXPECT_EQ(out.contact.time, out.gathered.time);
+  std::vector<StrictJson::Row> rows;
+  ASSERT_NO_THROW(rows = StrictJson::parse_rows(results.to_json()));
+  EXPECT_EQ(rows[0].at("n"), "2");
+  EXPECT_EQ(rows[0].at("contact"), "true");
+}
+
+TEST(Families, GatherSizeGridUsesFleetBuilderAndRing) {
+  engine::GatherCell base;
+  base.ring_radius = 2.0;
+  base.contact_max_time = 10.0;
+  base.gather_max_time = 10.0;
+  engine::ScenarioSet set;
+  set.gather_base(base).gather_sizes({2, 3, 4}).gather_label(
+      [](const engine::GatherCell& c) {
+        return "n=" + std::to_string(c.fleet.size());
+      });
+  const auto work = set.materialize_work();
+  ASSERT_EQ(work.size(), 3u);
+  EXPECT_EQ(work[0].gather.fleet.size(), 2u);
+  EXPECT_EQ(work[2].gather.fleet.size(), 4u);
+  EXPECT_EQ(work[1].label, "n=3");
+  // Ring placement: robot 0 of every cell sits at (radius, 0).
+  const auto origin0 = engine::gather_origin(work[1].gather, 0);
+  EXPECT_NEAR(origin0.x, 2.0, 1e-12);
+  EXPECT_NEAR(origin0.y, 0.0, 1e-12);
+}
+
+TEST(Families, MixedSetsRunTogetherAndEmitPerFamily) {
+  engine::ScenarioSet set;
+  rendezvous::Scenario fast;
+  fast.attrs.speed = 2.0;
+  fast.visibility = 0.2;
+  fast.max_time = 1e6;
+  set.add(fast, "rdv");
+  engine::SearchCell cell;
+  cell.distance = 1.0;
+  cell.visibility = 0.5;
+  cell.angles = 2;
+  cell.angle_offset = 0.03;
+  cell.max_time = 1e4;
+  set.add_search(cell, "srch");
+  engine::GatherCell gcell;
+  gcell.fleet = {RobotAttributes{}, fast.attrs};
+  gcell.ring_radius = 0.5;
+  gcell.contact_max_time = 1e4;
+  gcell.gather_max_time = 1e4;
+  set.add_gather(gcell, "gthr");
+
+  const auto results = engine::run_scenarios(set);
+  ASSERT_EQ(results.size(), 3u);
+  // Materialisation order: rendezvous, search, gather.
+  EXPECT_EQ(results[0].family, engine::Family::kRendezvous);
+  EXPECT_EQ(results[1].family, engine::Family::kSearch);
+  EXPECT_EQ(results[2].family, engine::Family::kGather);
+  // Mixed emission is rejected; per-family views emit fine.
+  EXPECT_THROW((void)results.to_csv(), std::logic_error);
+  EXPECT_THROW((void)results.to_json(), std::logic_error);
+  for (const auto family :
+       {engine::Family::kRendezvous, engine::Family::kSearch,
+        engine::Family::kGather}) {
+    const auto view = results.filtered(family);
+    ASSERT_EQ(view.size(), 1u);
+    EXPECT_NO_THROW((void)StrictJson::parse_rows(view.to_json()));
+    EXPECT_EQ(io::parse_csv(view.to_csv()).size(), 2u);
+  }
+  // The rendezvous-only materialize() view refuses multi-family sets.
+  EXPECT_THROW((void)set.materialize(), std::logic_error);
+}
+
+TEST(Families, ThreadCountDoesNotChangeFamilyEmission) {
+  engine::SearchCell base;
+  base.angles = 3;
+  base.angle_offset = 0.07;
+  base.max_time = 1e4;
+  engine::ScenarioSet set;
+  set.search_base(base).search_distances({1.0, 2.0}).search_radii({0.5, 0.25});
+  engine::RunnerOptions seq;
+  seq.threads = 1;
+  engine::RunnerOptions par;
+  par.threads = 4;
+  const auto a = engine::run_scenarios(set, seq);
+  const auto b = engine::run_scenarios(set, par);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_table().to_ascii(), b.to_table().to_ascii());
+}
+
+// ---------------------------------------------------------------------------
+// Pinned regressions for the ported benches: the engine declarations
+// must reproduce the values of the pre-port hand-rolled loops
+// (captured from the binaries before the port, 12 significant digits —
+// the precision of their CSV artifacts).
+// ---------------------------------------------------------------------------
+
+TEST(PortedBenches, E1SearchCellsMatchPrePortValues) {
+  engine::SearchCell base;
+  base.angles = 16;
+  base.angle_offset = 0.03;
+  engine::ScenarioSet set;
+  set.search_base(base)
+      .search_distances({1.0})
+      .search_radii({0.5, 0.25})
+      .search_horizon([](const engine::SearchCell& c) {
+        return rv::search::theorem1_bound(c.distance, c.visibility) + 1.0;
+      });
+  const auto results = engine::run_scenarios(set);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results.all_met());
+  EXPECT_EQ(io::format_double(results[0].search_outcome.worst_time),
+            "3.46022075239");
+  EXPECT_EQ(io::format_double(results[0].search_outcome.mean_time),
+            "1.98759919609");
+  EXPECT_EQ(io::format_double(results[1].search_outcome.worst_time),
+            "14.5089287754");
+  EXPECT_EQ(io::format_double(results[1].search_outcome.mean_time),
+            "12.2999964408");
+}
+
+TEST(PortedBenches, E9BaselineCellsMatchPrePortValues) {
+  engine::ScenarioSet set;
+  for (const auto prog :
+       {engine::SearchProgram::kAlgorithm4, engine::SearchProgram::kConcentric,
+        engine::SearchProgram::kSquareSpiral}) {
+    engine::SearchCell cell;
+    cell.distance = 2.0;
+    cell.visibility = 0.25;
+    cell.angles = 8;
+    cell.angle_offset = 0.07;
+    cell.program = prog;
+    cell.max_time = 5e6;
+    set.add_search(cell);
+  }
+  const auto results = engine::run_scenarios(set);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results.all_met());
+  EXPECT_EQ(io::format_double(results[0].search_outcome.worst_time),
+            "64.6553194102");
+  EXPECT_EQ(io::format_double(results[1].search_outcome.worst_time),
+            "46.6971441406");
+  EXPECT_EQ(io::format_double(results[2].search_outcome.worst_time),
+            "184.443058172");
+  EXPECT_EQ(results[1].search_outcome.program_name, "baseline-concentric");
+  EXPECT_EQ(results[2].search_outcome.program_name, "baseline-square-spiral");
+}
+
+TEST(PortedBenches, X1GatherFleetMatchesPrePortValues) {
+  engine::GatherCell cell;
+  cell.fleet = {RobotAttributes{}, [] {
+                  RobotAttributes a;
+                  a.time_unit = 0.5;
+                  return a;
+                }(),
+                [] {
+                  RobotAttributes a;
+                  a.time_unit = 0.75;
+                  return a;
+                }()};
+  cell.ring_radius = 1.0;
+  cell.visibility = 0.2;
+  cell.contact_max_time = 1e5;
+  cell.gather_max_time = 2e5;
+  engine::ScenarioSet set;
+  set.add_gather(cell, "3 robots, distinct clocks");
+  const auto results = engine::run_scenarios(set);
+  ASSERT_EQ(results.size(), 1u);
+  const engine::GatherOutcome& out = results[0].gather_outcome;
+  ASSERT_TRUE(out.contact.achieved);
+  EXPECT_EQ(io::format_double(out.contact.time), "245.667608938");
+  EXPECT_FALSE(out.gathered.achieved);
+  EXPECT_EQ(io::format_double(out.gathered.min_max_pairwise),
+            "0.833415754334");
+}
+
+TEST(PortedBenches, A1VariantScenarioAndA3SpacingMatchPrePortValues) {
+  // A1, tau = 0.5: both active-phase orders meet at the same time.
+  engine::ScenarioSet set;
+  for (const auto order : {rendezvous::ActivePhaseOrder::kForwardThenReverse,
+                           rendezvous::ActivePhaseOrder::kForwardTwice}) {
+    rendezvous::Scenario s;
+    s.attrs.time_unit = 0.5;
+    s.offset = {1.0, 0.0};
+    s.visibility = 0.1;
+    s.max_time = 5e6;
+    s.program = [order] {
+      return rendezvous::make_variant_rendezvous_program(order);
+    };
+    s.program_name = "variant";
+    set.add(s);
+  }
+  const auto a1 = engine::run_scenarios(set);
+  ASSERT_EQ(a1.size(), 2u);
+  ASSERT_TRUE(a1.all_met());
+  EXPECT_EQ(io::format_double(a1[0].outcome.sim.time), "129.324728711");
+  EXPECT_EQ(io::format_double(a1[1].outcome.sim.time), "129.324728711");
+
+  // A3, spacing c = 2 (the paper's choice): all 8 angles found.
+  rv::search::VariantOptions vopts;
+  vopts.spacing_factor = 2.0;
+  engine::SearchCell cell;
+  cell.distance = 1.5;
+  cell.visibility = 0.05;
+  cell.angles = 8;
+  cell.angle_offset = 0.11;
+  cell.program_factory = [vopts] {
+    return rv::search::make_variant_search_program(vopts);
+  };
+  cell.program_name = "algorithm4-spacing";
+  cell.max_time = 4.0 * rv::search::time_first_rounds(
+                            rv::search::guaranteed_round(1.5, 0.05));
+  engine::ScenarioSet a3set;
+  a3set.add_search(cell);
+  const auto a3 = engine::run_scenarios(a3set);
+  ASSERT_EQ(a3.size(), 1u);
+  EXPECT_EQ(a3[0].search_outcome.found, 8);
+  EXPECT_EQ(a3[0].search_outcome.missed, 0);
+  EXPECT_EQ(io::format_double(a3[0].search_outcome.worst_time),
+            "49.2068086096");
 }
 
 }  // namespace

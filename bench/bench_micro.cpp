@@ -7,9 +7,13 @@
 
 #include "mathx/constants.hpp"
 
+#include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "engine/contact_sweep.hpp"
+#include "engine/metric_kernel.hpp"
 #include "engine/runner.hpp"
 #include "engine/scenario_set.hpp"
 #include "geom/difference_map.hpp"
@@ -17,6 +21,7 @@
 #include "rendezvous/algorithm7.hpp"
 #include "rendezvous/schedule.hpp"
 #include "search/algorithm4.hpp"
+#include "search/baselines.hpp"
 #include "search/emitter.hpp"
 #include "sim/simulator.hpp"
 #include "traj/frame.hpp"
@@ -105,25 +110,60 @@ void BM_ContactSweepSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_ContactSweepSearch);
 
-void BM_ContactSweepGather(benchmark::State& state) {
-  // The n-robot gathering sweep: n robots on a unit ring all running
-  // Algorithm 7, max-pairwise metric.  The argument is the fleet size,
-  // so the timings expose the O(n^2) pairwise metric loop that
-  // dominates the gather family's cost.
-  const int n = static_cast<int>(state.range(0));
+// A ring fleet with deterministic radial jitter — the gather family's
+// layout, minus the exact regular-polygon symmetry that would make
+// *every* antipodal pair tie for the diameter (an adversarial
+// tie-resolution stress, not the generic case).
+std::vector<Vec2> jittered_ring(int n) {
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  std::uint64_t s = 0x9E3779B97F4A7C15ULL;
+  for (int i = 0; i < n; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double jitter =
+        static_cast<double>((s >> 11) % 1024) / 1024.0 * 0.05;
+    pts.push_back(
+        rv::geom::polar(1.0 + jitter, rv::mathx::kTwoPi * i / n));
+  }
+  return pts;
+}
+
+// Shared driver of the n-robot gathering sweep benchmarks: n identical
+// robots on a jittered unit ring all running the square-spiral
+// trajectory, max-pairwise metric, swept with the requested kernel.
+// The construction pins the measured work to the metric kernel: an
+// identical fleet keeps every pairwise distance constant (the metric
+// never events and the certified step is a fixed (m − r)/L),
+// continuous line-based motion keeps L = 2 with cheap per-robot
+// position evaluation and few segments — so the sweep performs the
+// same capped eval count at every fleet size and both kernels are
+// timed at identical eval counts.  (Algorithm 7 fleets are mostly
+// *passive*: their sweeps window-jump through the long common waits
+// in a dozen evaluations, measuring segment streaming instead of the
+// kernel; arc-heavy Algorithm 4 fleets spend the time in per-robot
+// trig.)
+void run_gather_sweep_bench(benchmark::State& state, int n,
+                            rv::engine::KernelChoice kernel) {
+  const std::vector<Vec2> origins = jittered_ring(n);
   std::uint64_t evals = 0;
   for (auto _ : state) {
     std::vector<rv::engine::RobotSpec> robots;
     robots.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
-      RobotAttributes attrs;
-      attrs.speed = 1.0 + 0.25 * i;
-      robots.push_back({rv::rendezvous::make_rendezvous_program(), attrs,
-                        rv::geom::polar(1.0, rv::mathx::kTwoPi * i / n)});
+      robots.push_back({rv::search::make_square_spiral_baseline(),
+                        RobotAttributes{}, origins[static_cast<std::size_t>(i)]});
     }
     rv::engine::SweepOptions opts;
-    opts.visibility = 0.2;
-    opts.max_time = 200.0;
+    // r at 95% of the *base* ring diameter (a lower bound on the
+    // jittered fleet's constant diameter): the certified step
+    // (m − r)/L stays small at every n, so the sweep spends its time
+    // in metric evaluations rather than segment streaming.
+    const double diam =
+        2.0 * std::sin(rv::mathx::kPi * static_cast<double>(n / 2) / n);
+    opts.visibility = 0.95 * diam;
+    opts.max_time = 100.0;
+    opts.kernel = kernel;
+    opts.max_evals = 2000;
     rv::engine::ContactSweep sweep(std::move(robots),
                                    rv::engine::SweepMetric::kMaxPairwise,
                                    opts);
@@ -133,7 +173,63 @@ void BM_ContactSweepGather(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(evals) * n * (n - 1) / 2);
 }
-BENCHMARK(BM_ContactSweepGather)->Arg(3)->Arg(6)->Arg(10);
+
+void BM_ContactSweepGather(benchmark::State& state) {
+  // The adaptive kernel (brute force below the cutover, convex hull +
+  // rotating calipers above): the speedup curve over
+  // BM_ContactSweepGatherBrute lands in BENCH_engine.json.
+  run_gather_sweep_bench(state, static_cast<int>(state.range(0)),
+                         rv::engine::KernelChoice::kAuto);
+}
+BENCHMARK(BM_ContactSweepGather)
+    ->Arg(3)
+    ->Arg(6)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(250)
+    ->Arg(1000);
+
+void BM_ContactSweepGatherBrute(benchmark::State& state) {
+  // The forced O(n²) squared-distance loop at the same fleet sizes —
+  // the baseline the adaptive kernel is measured against.
+  run_gather_sweep_bench(state, static_cast<int>(state.range(0)),
+                         rv::engine::KernelChoice::kBruteForce);
+}
+BENCHMARK(BM_ContactSweepGatherBrute)->Arg(50)->Arg(100)->Arg(250);
+
+// Metric kernels head to head on the jittered ring (the gather
+// family's layout): brute-force O(n²) vs grid closest-pair / calipers
+// diameter.
+void run_metric_kernel_bench(benchmark::State& state, bool min_metric,
+                             rv::engine::KernelChoice kernel) {
+  const auto pts = jittered_ring(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_metric
+                                 ? rv::engine::min_pairwise(pts, kernel)
+                                 : rv::engine::max_pairwise(pts, kernel));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_MetricKernelMinBrute(benchmark::State& state) {
+  run_metric_kernel_bench(state, true, rv::engine::KernelChoice::kBruteForce);
+}
+void BM_MetricKernelMinGrid(benchmark::State& state) {
+  run_metric_kernel_bench(state, true, rv::engine::KernelChoice::kGeometric);
+}
+void BM_MetricKernelMaxBrute(benchmark::State& state) {
+  run_metric_kernel_bench(state, false,
+                          rv::engine::KernelChoice::kBruteForce);
+}
+void BM_MetricKernelMaxCalipers(benchmark::State& state) {
+  run_metric_kernel_bench(state, false,
+                          rv::engine::KernelChoice::kGeometric);
+}
+BENCHMARK(BM_MetricKernelMinBrute)->Arg(16)->Arg(48)->Arg(250)->Arg(1000);
+BENCHMARK(BM_MetricKernelMinGrid)->Arg(16)->Arg(48)->Arg(250)->Arg(1000);
+BENCHMARK(BM_MetricKernelMaxBrute)->Arg(16)->Arg(48)->Arg(250)->Arg(1000);
+BENCHMARK(BM_MetricKernelMaxCalipers)->Arg(16)->Arg(48)->Arg(250)->Arg(1000);
 
 void BM_LambertW0(benchmark::State& state) {
   double x = 0.5;
@@ -188,4 +284,26 @@ BENCHMARK(BM_RoundBound);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Benchmarks of an unoptimized build measure the compiler, not the
+  // library: shout about it on stderr and tag the JSON context so
+  // BENCH_engine.json snapshots are self-describing (CI builds the
+  // smoke with CMAKE_BUILD_TYPE=Release; see .github/workflows/ci.yml).
+#if defined(__OPTIMIZE__)
+  benchmark::AddCustomContext("rv_optimized_build", "true");
+#else
+  std::fprintf(stderr,
+               "========================================================\n"
+               "WARNING: bench_micro was compiled WITHOUT optimization.\n"
+               "Timings below measure the debug build, not the library.\n"
+               "Rebuild with -DCMAKE_BUILD_TYPE=Release before recording\n"
+               "BENCH_engine.json.\n"
+               "========================================================\n");
+  benchmark::AddCustomContext("rv_optimized_build", "false");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "engine/contact_sweep.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -12,13 +13,19 @@ using traj::TimedSegment;
 
 namespace {
 void validate_options(const SweepOptions& o) {
-  if (!(o.visibility > 0.0)) {
-    throw std::invalid_argument("ContactSweep: visibility must be > 0");
+  // std::isfinite guards alongside the sign checks: a NaN fails a
+  // `> 0` comparison (and is caught), but +inf passes it, and an
+  // infinite radius/horizon/tolerance would silently break the
+  // certified stepping arithmetic (inf − inf, 0·inf).
+  if (!std::isfinite(o.visibility) || !(o.visibility > 0.0)) {
+    throw std::invalid_argument("ContactSweep: visibility must be finite > 0");
   }
-  if (!(o.max_time > 0.0)) {
-    throw std::invalid_argument("ContactSweep: max_time must be > 0");
+  if (!std::isfinite(o.max_time) || !(o.max_time > 0.0)) {
+    throw std::invalid_argument("ContactSweep: max_time must be finite > 0");
   }
-  if (!(o.contact_tol >= 0.0) || !(o.time_tol > 0.0) || !(o.min_step > 0.0)) {
+  if (!std::isfinite(o.contact_tol) || !(o.contact_tol >= 0.0) ||
+      !std::isfinite(o.time_tol) || !(o.time_tol > 0.0) ||
+      !std::isfinite(o.min_step) || !(o.min_step > 0.0)) {
     throw std::invalid_argument("ContactSweep: bad tolerances");
   }
 }
@@ -54,37 +61,18 @@ SweepResult ContactSweep::run() {
     ++res.segments;
   }
   pos_.resize(n);
+  speeds_.reserve(n);
 
   // The sweep metric over current positions; fills the extremal pair.
+  // Kernel dispatch (engine/metric_kernel.hpp): same value and same
+  // lexicographically-first pair as the historical O(n²) loop.
   auto metric_of = [&](const std::vector<Vec2>& pos, int* out_i, int* out_j) {
-    if (metric_ == SweepMetric::kMinPairwise) {
-      double best = std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = i + 1; j < n; ++j) {
-          const double d = geom::distance(pos[i], pos[j]);
-          if (d < best) {
-            best = d;
-            if (out_i) *out_i = static_cast<int>(i);
-            if (out_j) *out_j = static_cast<int>(j);
-          }
-        }
-      }
-      return best;
-    }
-    // Start below any distance so the pair is set even when every
-    // separation is exactly 0 (coincident robots).
-    double worst = -std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double d = geom::distance(pos[i], pos[j]);
-        if (d > worst) {
-          worst = d;
-          if (out_i) *out_i = static_cast<int>(i);
-          if (out_j) *out_j = static_cast<int>(j);
-        }
-      }
-    }
-    return worst;
+    const geom::ExtremalPair p = metric_ == SweepMetric::kMinPairwise
+                                     ? min_pairwise(pos, opts_.kernel)
+                                     : max_pairwise(pos, opts_.kernel);
+    if (out_i) *out_i = p.i;
+    if (out_j) *out_j = p.j;
+    return p.distance;
   };
 
   // Counted evaluation at a sweep/bisection point.
@@ -157,14 +145,13 @@ SweepResult ContactSweep::run() {
 
     // Certified advance: the metric is Lipschitz with constant
     // L = max over pairs of (v_i + v_j) on this window, so it cannot
-    // reach r before t + (m − r)/L.
-    double lipschitz = 0.0;
+    // reach r before t + (m − r)/L.  The pair maximum is the sum of
+    // the two largest speeds — computed in O(n), identical value.
+    speeds_.clear();
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        lipschitz =
-            std::max(lipschitz, current_[i].speed() + current_[j].speed());
-      }
+      speeds_.push_back(current_[i].speed());
     }
+    const double lipschitz = lipschitz_speed_sum(speeds_);
     double step;
     if (lipschitz <= 0.0) {
       // Everybody stationary: the metric is constant until the window

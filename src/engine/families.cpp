@@ -1,5 +1,6 @@
 #include "engine/families.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "mathx/constants.hpp"
@@ -88,6 +89,122 @@ geom::Vec2 gather_origin(const GatherCell& cell, std::size_t i) {
     origin.y += cell.jitter[i].y;
   }
   return origin;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario content keys
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Canonical byte encoders.  Doubles are appended as raw IEEE-754
+/// bytes with −0.0 normalised onto +0.0 (the only distinct
+/// representations that compare numerically equal here), integers as
+/// fixed-width raw bytes, strings length-prefixed.
+void append_f64(std::string& out, double v) {
+  v += 0.0;  // −0.0 → +0.0
+  char bytes[sizeof(v)];
+  std::memcpy(bytes, &v, sizeof(v));
+  out.append(bytes, sizeof(v));
+}
+
+void append_i32(std::string& out, std::int32_t v) {
+  char bytes[sizeof(v)];
+  std::memcpy(bytes, &v, sizeof(v));
+  out.append(bytes, sizeof(v));
+}
+
+void append_str(std::string& out, const std::string& s) {
+  append_i32(out, static_cast<std::int32_t>(s.size()));
+  out += s;
+}
+
+void append_attrs(std::string& out, const geom::RobotAttributes& a) {
+  append_f64(out, a.speed);
+  append_f64(out, a.time_unit);
+  append_f64(out, a.orientation);
+  append_i32(out, a.chirality);
+}
+
+void append_vec2(std::string& out, const geom::Vec2& v) {
+  append_f64(out, v.x);
+  append_f64(out, v.y);
+}
+
+/// Program identity: 'a' + enum for a built-in algorithm, 'c' + name
+/// for a named custom factory, nullopt (uncacheable) for an anonymous
+/// one.
+[[nodiscard]] bool append_program_identity(std::string& out,
+                                           bool has_factory,
+                                           const std::string& name,
+                                           std::int32_t algorithm) {
+  if (has_factory) {
+    if (name.empty()) return false;
+    out += 'c';
+    append_str(out, name);
+  } else {
+    out += 'a';
+    append_i32(out, algorithm);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> cache_key(const WorkItem& item) {
+  std::string key;
+  switch (item.family) {
+    case Family::kRendezvous: {
+      const rendezvous::Scenario& s = item.scenario;
+      key += 'R';
+      if (!append_program_identity(key, static_cast<bool>(s.program),
+                                   s.program_name,
+                                   static_cast<std::int32_t>(s.algorithm))) {
+        return std::nullopt;
+      }
+      append_attrs(key, s.attrs);
+      append_vec2(key, s.offset);
+      append_f64(key, s.visibility);
+      append_f64(key, s.max_time);
+      return key;
+    }
+    case Family::kSearch: {
+      const SearchCell& c = item.search;
+      key += 'S';
+      if (!append_program_identity(key, static_cast<bool>(c.program_factory),
+                                   c.program_name,
+                                   static_cast<std::int32_t>(c.program))) {
+        return std::nullopt;
+      }
+      // The name is keyed even without a factory: run_search_cell
+      // echoes a non-empty program_name into the reported outcome, so
+      // cells differing only in it must not share an entry.
+      append_str(key, c.program_name);
+      append_f64(key, c.distance);
+      append_f64(key, c.visibility);
+      append_i32(key, c.angles);
+      append_f64(key, c.angle_offset);
+      append_attrs(key, c.attrs);
+      append_f64(key, c.max_time);
+      return key;
+    }
+    case Family::kGather: {
+      const GatherCell& c = item.gather;
+      key += 'G';
+      append_i32(key, static_cast<std::int32_t>(c.algorithm));
+      append_i32(key, static_cast<std::int32_t>(c.fleet.size()));
+      for (const geom::RobotAttributes& a : c.fleet) append_attrs(key, a);
+      append_f64(key, c.ring_radius);
+      append_f64(key, c.ring_phase);
+      append_i32(key, static_cast<std::int32_t>(c.jitter.size()));
+      for (const geom::Vec2& v : c.jitter) append_vec2(key, v);
+      append_f64(key, c.visibility);
+      append_f64(key, c.contact_max_time);
+      append_f64(key, c.gather_max_time);
+      return key;
+    }
+  }
+  return std::nullopt;
 }
 
 GatherOutcome run_gather_cell(const GatherCell& cell) {

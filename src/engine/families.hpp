@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -142,5 +143,26 @@ struct WorkItem {
   SearchCell search;              ///< kSearch payload
   GatherCell gather;              ///< kGather payload
 };
+
+// ---------------------------------------------------------------------------
+// Scenario content keys (result cache)
+// ---------------------------------------------------------------------------
+
+/// The canonical content key of a work item: a byte string encoding the
+/// family, every cell attribute that influences the outcome (attributes,
+/// offsets, radii, horizons, grids — raw IEEE-754 bytes with −0.0
+/// normalised onto +0.0), and the program identity (the algorithm enum,
+/// or `program_name` for a custom factory).  Two items with equal keys
+/// produce identical outcomes, so `Runner` may memoize results by key
+/// (see `ScenarioCache` in engine/runner.hpp).  Display labels are NOT
+/// part of the key — they do not affect the outcome.
+///
+/// Returns nullopt — the item is *uncacheable* — when a custom program
+/// factory is set with an empty `program_name`: an anonymous factory
+/// has no stable identity, so memoizing it could silently alias two
+/// different programs.  Give the cell a unique `program_name` to make
+/// it cacheable (the name must identify the program, and the factory
+/// must be deterministic).
+[[nodiscard]] std::optional<std::string> cache_key(const WorkItem& item);
 
 }  // namespace rv::engine

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <exception>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -105,7 +106,32 @@ ResultSet ResultSet::filtered(Family family) const {
   for (const RunRecord& rec : records_) {
     if (rec.family == family) subset.push_back(rec);
   }
-  return ResultSet(std::move(subset));
+  ResultSet out(std::move(subset));
+  out.set_cache_stats(cache_stats_);
+  return out;
+}
+
+bool ScenarioCache::lookup(const std::string& key, Entry* out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void ScenarioCache::store(const std::string& key, Entry entry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  map_.emplace(key, std::move(entry));
+}
+
+std::size_t ScenarioCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+void ScenarioCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
 }
 
 Family ResultSet::emission_family() const {
@@ -389,6 +415,7 @@ ResultSet run_scenarios(const std::vector<WorkItem>& work,
   if (threads > n) threads = static_cast<unsigned>(n);
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> hits{0}, misses{0}, uncacheable{0};
   auto worker = [&] {
     for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
       const WorkItem& item = work[i];
@@ -399,16 +426,56 @@ ResultSet run_scenarios(const std::vector<WorkItem>& work,
         switch (item.family) {
           case Family::kRendezvous:
             rec.scenario = item.scenario;
-            rec.outcome = rendezvous::run_scenario(item.scenario);
             break;
           case Family::kSearch:
             rec.search = item.search;
-            rec.search_outcome = run_search_cell(item.search);
             break;
           case Family::kGather:
             rec.gather = item.gather;
-            rec.gather_outcome = run_gather_cell(item.gather);
             break;
+        }
+
+        // Memoization: replay an identical cell's outcome instead of
+        // recomputing it.  Outcomes are pure functions of the content
+        // key, so the replayed record is byte-identical to a computed
+        // one in every emitter.
+        std::optional<std::string> key;
+        ScenarioCache::Entry entry;
+        bool hit = false;
+        if (options.cache) {
+          key = cache_key(item);
+          if (!key) {
+            uncacheable.fetch_add(1, std::memory_order_relaxed);
+          } else if (options.cache->lookup(*key, &entry)) {
+            hit = true;
+            hits.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            misses.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+
+        if (hit) {
+          rec.outcome = std::move(entry.outcome);
+          rec.search_outcome = std::move(entry.search_outcome);
+          rec.gather_outcome = std::move(entry.gather_outcome);
+        } else {
+          switch (item.family) {
+            case Family::kRendezvous:
+              rec.outcome = rendezvous::run_scenario(item.scenario);
+              break;
+            case Family::kSearch:
+              rec.search_outcome = run_search_cell(item.search);
+              break;
+            case Family::kGather:
+              rec.gather_outcome = run_gather_cell(item.gather);
+              break;
+          }
+          if (key) {
+            entry.outcome = rec.outcome;
+            entry.search_outcome = rec.search_outcome;
+            entry.gather_outcome = rec.gather_outcome;
+            options.cache->store(*key, std::move(entry));
+          }
         }
         records[i] = std::move(rec);
       } catch (...) {
@@ -429,7 +496,10 @@ ResultSet run_scenarios(const std::vector<WorkItem>& work,
   for (const std::exception_ptr& err : errors) {
     if (err) std::rethrow_exception(err);
   }
-  return ResultSet(std::move(records));
+  ResultSet result(std::move(records));
+  result.set_cache_stats(
+      {hits.load(), misses.load(), uncacheable.load()});
+  return result;
 }
 
 ResultSet run_scenarios(const std::vector<LabeledScenario>& scenarios,

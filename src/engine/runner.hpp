@@ -28,8 +28,11 @@
 /// mixed runs are split per family with `filtered()`.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/families.hpp"
@@ -40,10 +43,63 @@
 
 namespace rv::engine {
 
-/// Parallelism controls.
+/// Thread-safe memoization of work-item outcomes, keyed by the
+/// scenario content key (`engine::cache_key`).  A cache outlives
+/// individual `run_scenarios` calls, so repeated cells — across grid
+/// cells of one run or across repeated runs — are computed once and
+/// replayed from memory with identical outcomes (the cached outcome
+/// *is* the computed outcome, including eval/segment counters, so all
+/// emitted tables/CSV/JSON are byte-identical with the cache on or
+/// off).
+///
+/// Safe whenever outcomes are pure functions of the keyed content:
+/// always true for the built-in algorithm programs; custom program
+/// factories must be deterministic and carry a unique `program_name`
+/// (anonymous factories are uncacheable and always recomputed — see
+/// `cache_key`).  Disable caching by leaving `RunnerOptions::cache`
+/// null (the default).
+class ScenarioCache {
+ public:
+  /// One memoized outcome; only the payload matching the key's family
+  /// (its leading byte) is meaningful — cross-family collisions are
+  /// impossible, so the entry carries no family tag of its own.
+  struct Entry {
+    rendezvous::Outcome outcome;    ///< kRendezvous payload
+    SearchOutcome search_outcome;   ///< kSearch payload
+    GatherOutcome gather_outcome;   ///< kGather payload
+  };
+
+  /// Copies the entry stored under `key` into `*out`; false if absent.
+  [[nodiscard]] bool lookup(const std::string& key, Entry* out) const;
+  /// Stores the entry under `key` (first writer wins on a race — both
+  /// writers computed identical outcomes).
+  void store(const std::string& key, Entry entry);
+
+  /// Number of memoized outcomes.
+  [[nodiscard]] std::size_t size() const;
+  /// Drops every memoized outcome.
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> map_;
+};
+
+/// Hit/miss counters of one `run_scenarios` call (all zero when the
+/// run had no cache attached).
+struct CacheStats {
+  std::uint64_t hits = 0;         ///< items replayed from the cache
+  std::uint64_t misses = 0;       ///< cacheable items computed (and stored)
+  std::uint64_t uncacheable = 0;  ///< items with no content key
+};
+
+/// Parallelism + memoization controls.
 struct RunnerOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
   unsigned threads = 0;
+  /// Scenario result cache; null (default) disables memoization.  The
+  /// caller owns the cache and may share one instance across runs.
+  ScenarioCache* cache = nullptr;
 };
 
 /// One executed work item: what ran and what happened.  Only the
@@ -89,6 +145,14 @@ class ResultSet {
   /// complete, fleet gathered (per the record's family).
   [[nodiscard]] bool all_met() const;
 
+  /// Cache hit/miss counters of the run that produced this set (all
+  /// zero without a cache; copied through by `filtered`).
+  [[nodiscard]] const CacheStats& cache_stats() const {
+    return cache_stats_;
+  }
+  /// Attaches the producing run's counters (called by the runner).
+  void set_cache_stats(const CacheStats& stats) { cache_stats_ = stats; }
+
   /// The subset of records belonging to `family` (for emitting mixed
   /// runs one family at a time).
   [[nodiscard]] ResultSet filtered(Family family) const;
@@ -121,6 +185,7 @@ class ResultSet {
 
   std::vector<RunRecord> records_;
   bool any_label_ = false;
+  CacheStats cache_stats_;
 };
 
 /// Runs every work item in the set (all families) and aggregates the

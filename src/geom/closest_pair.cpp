@@ -1,0 +1,198 @@
+#include "geom/closest_pair.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace rv::geom {
+
+namespace {
+
+constexpr auto kLess = ExtremalSense::kLess;
+
+/// Packs a 2-D cell coordinate into one 64-bit hash key.  Collisions
+/// between distinct cells are harmless: they only add far-away points
+/// to a neighbourhood scan (every candidate's true distance is
+/// computed), never hide one, because a cell's points are always found
+/// under that cell's own key.
+[[nodiscard]] std::uint64_t cell_key(std::int64_t cx, std::int64_t cy) {
+  std::uint64_t h = static_cast<std::uint64_t>(cx) * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<std::uint64_t>(cy) * 0xC2B2AE3D27D4EB4FULL;
+  h ^= h >> 29;
+  return h;
+}
+
+/// Open-addressed cell → chain-head table with intrusive chains
+/// through `next` (index-linked, so a whole pass allocates exactly
+/// three flat buffers).
+struct CellGrid {
+  std::vector<std::uint64_t> keys;   ///< slot keys (kEmpty = free)
+  std::vector<int> heads;            ///< slot chain heads
+  std::vector<int> next;             ///< intrusive per-point chain links
+  std::uint64_t mask = 0;
+  double cell = 0.0;
+
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+
+  void reset(std::size_t n, double cell_size) {
+    std::size_t slots = 16;
+    while (slots < 4 * n) slots <<= 1;
+    keys.assign(slots, kEmpty);
+    heads.assign(slots, -1);
+    next.assign(n, -1);
+    mask = slots - 1;
+    cell = cell_size;
+  }
+
+  [[nodiscard]] std::int64_t coord(double v) const {
+    return static_cast<std::int64_t>(std::floor(v / cell));
+  }
+
+  /// Slot of (cx, cy), or of the first free slot on that probe path.
+  [[nodiscard]] std::size_t slot_of(std::uint64_t key) const {
+    std::size_t s = static_cast<std::size_t>(key & mask);
+    while (keys[s] != kEmpty && keys[s] != key) s = (s + 1) & mask;
+    return s;
+  }
+
+  void insert(int idx, const Vec2& p) {
+    const std::uint64_t key = cell_key(coord(p.x), coord(p.y));
+    const std::size_t s = slot_of(key);
+    if (keys[s] == kEmpty) keys[s] = key;
+    next[idx] = heads[s];
+    heads[s] = idx;
+  }
+
+  /// Chain head of cell (cx, cy), or -1.
+  [[nodiscard]] int head_of(std::int64_t cx, std::int64_t cy) const {
+    const std::size_t s = slot_of(cell_key(cx, cy));
+    return keys[s] == kEmpty ? -1 : heads[s];
+  }
+};
+
+/// δ = 0 path: every pair attaining the minimum is a pair of
+/// numerically equal points, so group by exact coordinate value
+/// (−0.0 normalised onto +0.0) and take the lexicographically first
+/// two indices of any group.  O(n).
+[[nodiscard]] ExtremalPair coincident_pair(const std::vector<Vec2>& pts) {
+  struct FirstTwo {
+    int a = -1, b = -1;
+  };
+  auto key_of = [](const Vec2& p) {
+    // +0.0 addition maps −0.0 onto +0.0 so numerically equal points
+    // share one byte pattern.
+    const double x = p.x + 0.0, y = p.y + 0.0;
+    std::uint64_t bx, by;
+    static_assert(sizeof(bx) == sizeof(x));
+    __builtin_memcpy(&bx, &x, sizeof(bx));
+    __builtin_memcpy(&by, &y, sizeof(by));
+    return bx * 0x9E3779B97F4A7C15ULL ^ (by + 0x632BE59BD9B4E019ULL);
+  };
+  // Hash buckets may merge distinct coordinates; verify equality before
+  // pairing so a collision cannot fabricate a zero pair.
+  std::unordered_map<std::uint64_t, std::vector<int>> groups;
+  for (int i = 0; i < static_cast<int>(pts.size()); ++i) {
+    groups[key_of(pts[i])].push_back(i);
+  }
+  ExtremalPair best{0.0, -1, -1};
+  for (const auto& [key, members] : groups) {
+    (void)key;
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        const int i = members[a], j = members[b];
+        if (pts[i].x == pts[j].x && pts[i].y == pts[j].y) {
+          if (best.i < 0 ||
+              pair_beats<kLess>(0.0, i, j, 0.0, best.i, best.j)) {
+            best.i = i;
+            best.j = j;
+          }
+          break;  // later members of the group only give larger j
+        }
+      }
+    }
+  }
+  return best;  // callers only reach here once a zero pair exists
+}
+
+}  // namespace
+
+ExtremalPair closest_pair(const std::vector<Vec2>& pts) {
+  const int n = static_cast<int>(pts.size());
+  if (n < 2) {
+    throw std::invalid_argument("closest_pair: need >= 2 points");
+  }
+
+  double best_sq = norm_sq(pts[1] - pts[0]);
+  // Cheap tight upper bound: consecutive indices are spatial
+  // neighbours for the fleet layouts the engine sweeps (origin rings),
+  // which keeps the initial cells small and rebuilds rare.
+  for (int i = 1; i + 1 < n; ++i) {
+    const double d_sq = norm_sq(pts[i + 1] - pts[i]);
+    if (d_sq < best_sq) best_sq = d_sq;
+  }
+  if (best_sq == 0.0) return coincident_pair(pts);
+
+  // Selection pass: find the minimal d² (the pair is resolved later).
+  CellGrid grid;
+  grid.reset(static_cast<std::size_t>(n), 2.0 * std::sqrt(best_sq));
+  grid.insert(0, pts[0]);
+  for (int j = 1; j < n; ++j) {
+    const std::int64_t cx = grid.coord(pts[j].x);
+    const std::int64_t cy = grid.coord(pts[j].y);
+    bool shrunk = false;
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        for (int i = grid.head_of(cx + dx, cy + dy); i >= 0;
+             i = grid.next[i]) {
+          const double d_sq = norm_sq(pts[j] - pts[i]);
+          if (d_sq < best_sq) {
+            best_sq = d_sq;
+            shrunk = true;
+          }
+        }
+      }
+    }
+    if (shrunk) {
+      if (best_sq == 0.0) return coincident_pair(pts);
+      // Tighter δ: rebuild so the 3×3 neighbourhood invariant (cell
+      // size ≥ 2δ) stays tight rather than merely valid.
+      grid.reset(static_cast<std::size_t>(n), 2.0 * std::sqrt(best_sq));
+      for (int i = 0; i < j; ++i) grid.insert(i, pts[i]);
+    }
+    grid.insert(j, pts[j]);
+  }
+
+  // Resolution pass: every pair that can tie the winner in computed
+  // hypot lies within the d² band (geom/extremal_pair.hpp), hence at
+  // distance ≤ δ(1 + ~1e-14) — comfortably inside the 3×3
+  // neighbourhood of the final grid (cell size ≥ 2δ).  Resolve those
+  // few with the historical (hypot, lex) comparator.
+  const double cutoff = best_sq + best_sq * kDistanceSqBand;
+  double best_v = 0.0;
+  int best_i = -1, best_j = -1;
+  for (int j = 1; j < n; ++j) {
+    const std::int64_t cx = grid.coord(pts[j].x);
+    const std::int64_t cy = grid.coord(pts[j].y);
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        for (int i = grid.head_of(cx + dx, cy + dy); i >= 0;
+             i = grid.next[i]) {
+          if (i >= j) continue;
+          if (norm_sq(pts[j] - pts[i]) > cutoff) continue;
+          const double v = distance(pts[i], pts[j]);
+          if (best_i < 0 ||
+              pair_beats<kLess>(v, i, j, best_v, best_i, best_j)) {
+            best_v = v;
+            best_i = i;
+            best_j = j;
+          }
+        }
+      }
+    }
+  }
+  return {best_v, best_i, best_j};
+}
+
+}  // namespace rv::geom

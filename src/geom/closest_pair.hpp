@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file closest_pair.hpp
+/// Exact closest pair of a planar point set via incremental spatial
+/// grid hashing — the near-linear kernel behind the engine's
+/// min-pairwise sweep metric (first contact / rendezvous).
+///
+/// Algorithm (Rabin-style, deterministic insertion order): maintain the
+/// closest distance δ seen so far and a uniform grid of cell size 2δ
+/// (open-addressed hash of cell → point chain, zero allocation per
+/// query beyond three flat buffers).  Each point is tested against the
+/// 3×3 cell neighbourhood of its own cell — any pair at distance ≤ δ
+/// differs by at most one cell index per axis with cell size 2δ, with
+/// a full cell of slack absorbing floating-point boundary rounding —
+/// and the grid is rebuilt with tighter cells whenever δ strictly
+/// shrinks.  Expected O(n) for the fleet geometries the engine sweeps
+/// (rings, clusters, slowly-evolving positions); the adversarial worst
+/// case degrades gracefully toward the brute-force bound.
+///
+/// Exactness contract: the returned distance is the same
+/// `std::hypot`-computed value, and the returned pair the same
+/// lexicographically-first extremal pair, as the historical O(n²) loop
+/// (see geom/extremal_pair.hpp).  Coincident points (δ = 0) are
+/// resolved by an O(n) exact-coordinate grouping pass.
+
+#include <vector>
+
+#include "geom/extremal_pair.hpp"
+#include "geom/vec2.hpp"
+
+namespace rv::geom {
+
+/// The closest pair of `pts` under the shared extremal-pair contract.
+/// \throws std::invalid_argument for fewer than 2 points.
+[[nodiscard]] ExtremalPair closest_pair(const std::vector<Vec2>& pts);
+
+}  // namespace rv::geom

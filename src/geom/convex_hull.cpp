@@ -1,0 +1,165 @@
+#include "geom/convex_hull.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace rv::geom {
+
+namespace {
+
+constexpr auto kGreater = ExtremalSense::kGreater;
+
+/// A point tagged with its original index; hull construction sorts and
+/// pops these by value for cache-friendly chains.
+struct TaggedPoint {
+  Vec2 p;
+  int idx = -1;
+};
+
+/// Sorted, exact-duplicate-collapsed copy of `pts`.  Sorting by
+/// (x, y, idx) puts duplicates adjacently with the smallest original
+/// index first, so each kept representative is the smallest index at
+/// its coordinate — which is what the diameter tie-break needs.
+[[nodiscard]] std::vector<TaggedPoint> sorted_unique(
+    const std::vector<Vec2>& pts) {
+  std::vector<TaggedPoint> sorted;
+  sorted.reserve(pts.size());
+  for (int i = 0; i < static_cast<int>(pts.size()); ++i) {
+    sorted.push_back({pts[i], i});
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TaggedPoint& a, const TaggedPoint& b) {
+              if (a.p.x != b.p.x) return a.p.x < b.p.x;
+              if (a.p.y != b.p.y) return a.p.y < b.p.y;
+              return a.idx < b.idx;
+            });
+  std::vector<TaggedPoint> unique;
+  unique.reserve(sorted.size());
+  for (const TaggedPoint& tp : sorted) {
+    if (!unique.empty() && unique.back().p.x == tp.p.x &&
+        unique.back().p.y == tp.p.y) {
+      continue;
+    }
+    unique.push_back(tp);
+  }
+  return unique;
+}
+
+/// Monotone chain over sorted unique points; strict turns only.
+[[nodiscard]] std::vector<TaggedPoint> hull_of(
+    const std::vector<TaggedPoint>& unique) {
+  const std::size_t m = unique.size();
+  if (m <= 2) return unique;
+  std::vector<TaggedPoint> hull(2 * m);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < m; ++i) {  // lower chain
+    while (k >= 2 && cross(hull[k - 1].p - hull[k - 2].p,
+                           unique[i].p - hull[k - 2].p) <= 0.0) {
+      --k;
+    }
+    hull[k++] = unique[i];
+  }
+  for (std::size_t i = m - 1, lower = k + 1; i-- > 0;) {  // upper chain
+    while (k >= lower && cross(hull[k - 1].p - hull[k - 2].p,
+                               unique[i].p - hull[k - 2].p) <= 0.0) {
+      --k;
+    }
+    hull[k++] = unique[i];
+  }
+  hull.resize(k - 1);  // last point repeats the first
+  return hull;
+}
+
+}  // namespace
+
+std::vector<int> convex_hull(const std::vector<Vec2>& pts) {
+  std::vector<int> out;
+  for (const TaggedPoint& tp : hull_of(sorted_unique(pts))) {
+    out.push_back(tp.idx);
+  }
+  return out;
+}
+
+ExtremalPair hull_diameter(const std::vector<Vec2>& pts) {
+  if (pts.size() < 2) {
+    throw std::invalid_argument("hull_diameter: need >= 2 points");
+  }
+  const std::vector<TaggedPoint> hull = hull_of(sorted_unique(pts));
+  const int h = static_cast<int>(hull.size());
+
+  // Candidates are selected by computed d² as a monotone pre-filter
+  // and resolved with the historical (hypot, lex) comparator: any
+  // candidate whose d² falls below the hypot-tie band around the
+  // maximum provably cannot tie the winner, so it is rejected without
+  // a hypot (see geom/extremal_pair.hpp).
+  double best_sq = -1.0;
+  double best_v = 0.0;
+  int best_i = -1, best_j = -1;
+  auto consider = [&](int a, int b) {
+    if (a == b) return;
+    const double d_sq = norm_sq(hull[a].p - hull[b].p);
+    if (best_i >= 0 && d_sq < best_sq - best_sq * kDistanceSqBand) return;
+    if (d_sq > best_sq) best_sq = d_sq;
+    const double v = distance(hull[a].p, hull[b].p);
+    int i = hull[a].idx, j = hull[b].idx;
+    if (i > j) std::swap(i, j);
+    if (best_i < 0 ||
+        pair_beats<kGreater>(v, i, j, best_v, best_i, best_j)) {
+      best_v = v;
+      best_i = i;
+      best_j = j;
+    }
+  };
+
+  if (h == 1) {
+    // Every point coincides: all pairs attain distance 0; the
+    // lexicographically first is (0, 1).
+    return {distance(pts[0], pts[1]), 0, 1};
+  }
+  if (h == 2) {
+    consider(0, 1);
+  } else {
+    // Rotating calipers: for each directed hull edge (i, i+1), advance
+    // j to the vertex farthest from it (cross(edge_i, edge_j) > 0 iff
+    // the next vertex is strictly farther), considering every visited
+    // (i, j) plus both edge endpoints and, on parallel edges (cross
+    // == 0), the tied vertex.  All diameter-attaining pairs are
+    // antipodal vertex pairs and every antipodal pair is visited.
+    auto nxt = [h](int v) { return v + 1 < h ? v + 1 : 0; };
+    const int budget = 4 * h + 8;  // j advances < 2h in a sane run
+    int advances = 0;
+    int j = 1;
+    for (int i = 0; i < h && advances <= budget; ++i) {
+      for (;;) {
+        consider(i, j);
+        consider(nxt(i), j);
+        const double c =
+            cross(hull[nxt(i)].p - hull[i].p, hull[nxt(j)].p - hull[j].p);
+        if (c > 0.0) {
+          j = nxt(j);
+          if (++advances > budget) break;
+        } else {
+          if (c == 0.0) {
+            consider(i, nxt(j));
+            consider(nxt(i), nxt(j));
+          }
+          break;
+        }
+      }
+    }
+    if (advances > budget) {
+      // Floating-point sign noise stalled the calipers (never observed;
+      // defensive): exact O(h²) scan over hull vertices.
+      best_sq = -1.0;
+      best_v = 0.0;
+      best_i = best_j = -1;
+      for (int a = 0; a < h; ++a) {
+        for (int b = a + 1; b < h; ++b) consider(a, b);
+      }
+    }
+  }
+  return {distance(pts[best_i], pts[best_j]), best_i, best_j};
+}
+
+}  // namespace rv::geom

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file convex_hull.hpp
+/// Monotone-chain convex hull and rotating-calipers diameter — the
+/// near-linear kernel behind the engine's max-pairwise sweep metric
+/// (all-pairs gathering).
+///
+/// `convex_hull` is Andrew's monotone chain over the points sorted by
+/// (x, y, index): O(n log n), strict turns only (collinear mid-edge
+/// points are dropped), exact duplicates collapsed onto their smallest
+/// original index.  `hull_diameter` rotates calipers around that hull
+/// to enumerate the antipodal vertex pairs — every pair attaining the
+/// diameter is among them — and resolves the candidates with the same
+/// comparator as the historical O(n²) loop, so the returned
+/// `std::hypot` distance and lexicographically-first extremal pair
+/// match it exactly (see geom/extremal_pair.hpp).  Degenerate hulls
+/// (all points collinear or coincident) are handled explicitly, and a
+/// bounded-advance guard falls back to an O(h²) scan over hull
+/// vertices if floating-point sign noise ever stalls the calipers.
+
+#include <vector>
+
+#include "geom/extremal_pair.hpp"
+#include "geom/vec2.hpp"
+
+namespace rv::geom {
+
+/// Indices (into `pts`) of the convex hull vertices in counter-
+/// clockwise order starting from the lexicographically smallest point.
+/// Strict hull: no collinear mid-edge vertices; duplicate coordinates
+/// are represented by their smallest original index.  A single index
+/// is returned when every point coincides.
+[[nodiscard]] std::vector<int> convex_hull(const std::vector<Vec2>& pts);
+
+/// The diameter (farthest pair) of `pts` under the shared
+/// extremal-pair contract.  \throws std::invalid_argument for fewer
+/// than 2 points.
+[[nodiscard]] ExtremalPair hull_diameter(const std::vector<Vec2>& pts);
+
+}  // namespace rv::geom

@@ -953,6 +953,153 @@ TEST(PortedBenches, X1GatherFleetMatchesPrePortValues) {
             "0.833415754334");
 }
 
+// ---------------------------------------------------------------------------
+// Scenario result cache
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioCache, IdenticalOutputWithCacheOnAndOffAndCountersExercised) {
+  // A mixed-family set with deliberate duplicates: the rendezvous grid
+  // contains two cells, one of which is also added explicitly, and the
+  // same gather cell is declared twice under different labels (labels
+  // are not part of the content key).
+  auto declare = [] {
+    engine::ScenarioSet set;
+    set.speeds({1.0, 2.0})
+        .visibility(0.25)
+        .algorithm(rendezvous::AlgorithmChoice::kAlgorithm7)
+        .max_time(2e3)
+        .label([](const rendezvous::Scenario& s) {
+          return "v=" + io::format_double(s.attrs.speed);
+        });
+    rendezvous::Scenario dup;
+    dup.attrs.speed = 2.0;
+    dup.offset = {1.0, 0.0};
+    dup.visibility = 0.25;
+    dup.max_time = 2e3;
+    set.add(dup, "explicit twin");
+    return set;
+  };
+  auto gather_twice = [] {
+    engine::ScenarioSet set;
+    engine::GatherCell cell;
+    cell.fleet = {RobotAttributes{}, RobotAttributes{}, RobotAttributes{}};
+    cell.visibility = 0.2;
+    cell.contact_max_time = 1e3;
+    cell.gather_max_time = 1e3;
+    set.add_gather(cell, "first");
+    set.add_gather(cell, "second");
+    return set;
+  };
+
+  engine::ScenarioCache cache;
+  engine::RunnerOptions with_cache;
+  with_cache.cache = &cache;
+  with_cache.threads = 1;  // deterministic hit/miss split for the twin
+
+  const auto plain = engine::run_scenarios(declare());
+  const auto cached = engine::run_scenarios(declare(), with_cache);
+  EXPECT_EQ(plain.cache_stats().hits, 0u);
+  EXPECT_EQ(plain.cache_stats().misses, 0u);
+  // 3 items, one duplicated: 2 misses + 1 hit (single worker thread
+  // guarantees the twin sees the stored entry; with more threads the
+  // duplicate could race to a miss, which is also correct).
+  EXPECT_EQ(cached.cache_stats().hits + cached.cache_stats().misses, 3u);
+  EXPECT_GE(cached.cache_stats().hits, 1u);
+  EXPECT_EQ(cached.cache_stats().uncacheable, 0u);
+  EXPECT_EQ(plain.to_csv(), cached.to_csv());
+  EXPECT_EQ(plain.to_json(), cached.to_json());
+
+  // A repeated run against the same cache replays everything.
+  const auto replay = engine::run_scenarios(declare(), with_cache);
+  EXPECT_EQ(replay.cache_stats().hits, 3u);
+  EXPECT_EQ(replay.cache_stats().misses, 0u);
+  EXPECT_EQ(plain.to_csv(), replay.to_csv());
+
+  // Gather duplicates share one computation; outputs stay identical.
+  engine::ScenarioCache gcache;
+  engine::RunnerOptions gopts;
+  gopts.cache = &gcache;
+  gopts.threads = 1;
+  const auto gplain = engine::run_scenarios(gather_twice());
+  const auto gcached = engine::run_scenarios(gather_twice(), gopts);
+  EXPECT_EQ(gcached.cache_stats().hits + gcached.cache_stats().misses, 2u);
+  EXPECT_EQ(gcache.size(), 1u);
+  EXPECT_EQ(gplain.to_csv(), gcached.to_csv());
+  // filtered() carries the producing run's counters through.
+  EXPECT_EQ(gcached.filtered(engine::Family::kGather).cache_stats().hits,
+            gcached.cache_stats().hits);
+}
+
+TEST(ScenarioCache, SearchCellsDifferingOnlyInProgramNameDoNotCollide) {
+  // run_search_cell echoes a non-empty program_name into the reported
+  // outcome even when no custom factory is set, so the name must be
+  // part of the content key: two cells identical except for it must
+  // not share a cache entry (regression: the second cell used to
+  // replay the first's program column).
+  auto declare = [] {
+    engine::ScenarioSet set;
+    engine::SearchCell cell;
+    cell.distance = 1.0;
+    cell.visibility = 0.25;
+    cell.angles = 2;
+    cell.max_time = 1e4;
+    set.add_search(cell);
+    cell.program_name = "display-name";
+    set.add_search(cell);
+    return set;
+  };
+  engine::ScenarioCache cache;
+  engine::RunnerOptions opts;
+  opts.cache = &cache;
+  opts.threads = 1;
+  const auto plain = engine::run_scenarios(declare());
+  const auto cached = engine::run_scenarios(declare(), opts);
+  EXPECT_EQ(cached.cache_stats().misses, 2u);
+  EXPECT_EQ(cached.cache_stats().hits, 0u);
+  EXPECT_EQ(cached[0].search_outcome.program_name, "algorithm4");
+  EXPECT_EQ(cached[1].search_outcome.program_name, "display-name");
+  EXPECT_EQ(plain.to_csv(), cached.to_csv());
+  const auto replay = engine::run_scenarios(declare(), opts);
+  EXPECT_EQ(replay.cache_stats().hits, 2u);
+  EXPECT_EQ(plain.to_csv(), replay.to_csv());
+}
+
+TEST(ScenarioCache, AnonymousCustomProgramsAreUncacheable) {
+  engine::ScenarioSet set;
+  rendezvous::Scenario s;
+  s.attrs.time_unit = 0.5;
+  s.offset = {1.0, 0.0};
+  s.visibility = 0.1;
+  s.max_time = 5e6;
+  s.program = [] {
+    return rendezvous::make_variant_rendezvous_program(
+        rendezvous::ActivePhaseOrder::kForwardThenReverse);
+  };
+  // No program_name: the factory has no stable identity, so the item
+  // must bypass the cache entirely (recomputed every run, never
+  // stored).
+  set.add(s);
+  engine::ScenarioCache cache;
+  engine::RunnerOptions opts;
+  opts.cache = &cache;
+  const auto first = engine::run_scenarios(set, opts);
+  const auto second = engine::run_scenarios(set, opts);
+  EXPECT_EQ(first.cache_stats().uncacheable, 1u);
+  EXPECT_EQ(second.cache_stats().uncacheable, 1u);
+  EXPECT_EQ(second.cache_stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  // Naming the program makes the same cell cacheable.
+  s.program_name = "variant-fwd-rev";
+  engine::ScenarioSet named;
+  named.add(s);
+  const auto third = engine::run_scenarios(named, opts);
+  EXPECT_EQ(third.cache_stats().misses, 1u);
+  const auto fourth = engine::run_scenarios(named, opts);
+  EXPECT_EQ(fourth.cache_stats().hits, 1u);
+  EXPECT_EQ(first.to_csv(), second.to_csv());
+  EXPECT_EQ(third.to_csv(), fourth.to_csv());
+}
+
 TEST(PortedBenches, A1VariantScenarioAndA3SpacingMatchPrePortValues) {
   // A1, tau = 0.5: both active-phase orders meet at the same time.
   engine::ScenarioSet set;

@@ -7,17 +7,34 @@
 // from the exact schedule algebra), the lemma windows that predict
 // which (k, a) pairs overlap, and a Gantt SVG in the style of
 // Figure 3's two panels.
+//
+// Both tables are *components-only* rendezvous-family
+// `engine::ScenarioSet`s: the τ grid rides the engine's `time_units`
+// axis and the per-cell overlap algebra is a component-times hook run
+// by the deterministic `Runner`; the lemma-window rows are explicit
+// cells with per-cell hooks.  This file only declares and formats.
 
-#include <algorithm>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
 #include "io/table.hpp"
 #include "mathx/binary.hpp"
 #include "rendezvous/schedule.hpp"
 #include "viz/ascii.hpp"
 #include "viz/gantt.hpp"
+
+namespace {
+
+double overlap_at(int k, double tau) {
+  const auto best = rv::rendezvous::best_overlap_with_inactive(k, tau);
+  return best ? best->length() : 0.0;
+}
+
+}  // namespace
 
 int main() {
   using namespace rv;
@@ -26,35 +43,60 @@ int main() {
 
   const std::vector<double> taus{0.5, 0.6, 2.0 / 3.0, 0.75, 0.9};
 
+  // --- per-round overlap over the τ grid -----------------------------------
+  engine::ScenarioSet grid;
+  grid.components_only().time_units(taus).components(
+      [](const rendezvous::Scenario& s, const rendezvous::Outcome&) {
+        const double tau = s.attrs.time_unit;
+        const auto dec = mathx::dyadic_decompose(tau);
+        // First round with a positive overlap against any peer
+        // inactive phase (k0 = 0 when none exists by round 40).
+        int k0 = 0;
+        for (int k = 1; k <= 40 && k0 == 0; ++k) {
+          if (rendezvous::best_overlap_with_inactive(k, tau)) k0 = k;
+        }
+        engine::Components out{
+            {"t", dec.t},
+            {"a", static_cast<double>(dec.a)},
+            {"k0", static_cast<double>(k0)},
+            {"S", k0 > 0 ? rendezvous::search_all_time(k0) : 0.0}};
+        for (int j = 0; j <= 6; ++j) {
+          out.push_back({"ov" + std::to_string(j),
+                         k0 > 0 ? overlap_at(k0 + j, tau) : 0.0});
+        }
+        return out;
+      });
+
+  const engine::ResultSet overlaps = engine::run_scenarios(grid);
+  for (const engine::RunRecord& rec : overlaps) {
+    if (engine::component_value(rec.components, "k0") == 0.0) {
+      std::cerr << "no overlap found for tau=" << rec.scenario.attrs.time_unit
+                << '\n';
+      return 1;
+    }
+  }
+
   io::Table table({"tau", "t", "a", "k", "overlap(k)", "overlap(k+2)",
                    "overlap(k+4)", "S(k)"});
   std::vector<io::CsvRow> csv;
-
-  for (const double tau : taus) {
-    const auto dec = mathx::dyadic_decompose(tau);
-    // First round with a positive overlap against any peer inactive
-    // phase.
-    int k0 = 0;
-    for (int k = 1; k <= 40 && k0 == 0; ++k) {
-      if (rendezvous::best_overlap_with_inactive(k, tau)) k0 = k;
-    }
-    if (k0 == 0) {
-      std::cerr << "no overlap found for tau=" << tau << '\n';
-      return 1;
-    }
-    auto overlap_at = [&](int k) {
-      const auto best = rendezvous::best_overlap_with_inactive(k, tau);
-      return best ? best->length() : 0.0;
-    };
-    table.add_row({io::format_fixed(tau, 4), io::format_fixed(dec.t, 4),
-                   std::to_string(dec.a), std::to_string(k0),
-                   io::format_fixed(overlap_at(k0), 1),
-                   io::format_fixed(overlap_at(k0 + 2), 1),
-                   io::format_fixed(overlap_at(k0 + 4), 1),
-                   io::format_fixed(rendezvous::search_all_time(k0), 1)});
-    for (int k = k0; k <= k0 + 6; ++k) {
-      csv.push_back({io::format_double(tau), std::to_string(k),
-                     io::format_double(overlap_at(k))});
+  for (const engine::RunRecord& rec : overlaps) {
+    const double tau = rec.scenario.attrs.time_unit;
+    const int k0 =
+        static_cast<int>(engine::component_value(rec.components, "k0"));
+    table.add_row(
+        {io::format_fixed(tau, 4),
+         io::format_fixed(engine::component_value(rec.components, "t"), 4),
+         std::to_string(
+             static_cast<int>(engine::component_value(rec.components, "a"))),
+         std::to_string(k0),
+         io::format_fixed(engine::component_value(rec.components, "ov0"), 1),
+         io::format_fixed(engine::component_value(rec.components, "ov2"), 1),
+         io::format_fixed(engine::component_value(rec.components, "ov4"), 1),
+         io::format_fixed(engine::component_value(rec.components, "S"), 1)});
+    for (int j = 0; j <= 6; ++j) {
+      csv.push_back({io::format_double(tau), std::to_string(k0 + j),
+                     io::format_double(engine::component_value(
+                         rec.components, "ov" + std::to_string(j)))});
     }
   }
   table.print(std::cout,
@@ -63,35 +105,51 @@ int main() {
 
   // Lemma 9/10 window verification: sampled τ in each window must give
   // the predicted positive overlap.
-  io::Table t2({"lemma", "k", "a", "window lo", "window hi",
-                "overlap at midpoint", "predicted"});
+  engine::ScenarioSet windows;
+  windows.components_only();
   for (const int k : {8, 12, 16}) {
     for (const int a : {0, 1}) {
       if (k < 2 * (a + 1)) continue;
-      const auto w9 = rendezvous::lemma9_tau_window(k, a);
-      const double tau9 = w9.midpoint();
-      t2.add_row({"9", std::to_string(k), std::to_string(a),
-                  io::format_fixed(w9.lo, 5), io::format_fixed(w9.hi, 5),
-                  io::format_fixed(
-                      rendezvous::best_overlap_with_inactive(k, tau9)
-                          ? rendezvous::best_overlap_with_inactive(k, tau9)
-                                ->length()
-                          : 0.0,
-                      1),
-                  io::format_fixed(rendezvous::lemma9_overlap(tau9, k, a), 1)});
-      const auto w10 = rendezvous::lemma10_tau_window(k, a);
-      const double tau10 = w10.midpoint();
-      t2.add_row(
-          {"10", std::to_string(k), std::to_string(a),
-           io::format_fixed(w10.lo, 5), io::format_fixed(w10.hi, 5),
-           io::format_fixed(
-               rendezvous::best_overlap_with_inactive(k - 1, tau10)
-                   ? rendezvous::best_overlap_with_inactive(k - 1, tau10)
-                         ->length()
-                   : 0.0,
-               1),
-           io::format_fixed(rendezvous::lemma10_overlap(tau10, k, a), 1)});
+      for (const int lemma : {9, 10}) {
+        windows.add(
+            rendezvous::Scenario{}, "",
+            [lemma, k, a](const rendezvous::Scenario&,
+                          const rendezvous::Outcome&) {
+              const auto window = lemma == 9
+                                      ? rendezvous::lemma9_tau_window(k, a)
+                                      : rendezvous::lemma10_tau_window(k, a);
+              const double tau = window.midpoint();
+              const double predicted =
+                  lemma == 9 ? rendezvous::lemma9_overlap(tau, k, a)
+                             : rendezvous::lemma10_overlap(tau, k, a);
+              return engine::Components{
+                  {"lemma", static_cast<double>(lemma)},
+                  {"k", static_cast<double>(k)},
+                  {"a", static_cast<double>(a)},
+                  {"lo", window.lo},
+                  {"hi", window.hi},
+                  {"overlap_mid", overlap_at(lemma == 9 ? k : k - 1, tau)},
+                  {"predicted", predicted}};
+            });
+      }
     }
+  }
+
+  io::Table t2({"lemma", "k", "a", "window lo", "window hi",
+                "overlap at midpoint", "predicted"});
+  for (const engine::RunRecord& rec : engine::run_scenarios(windows)) {
+    auto as_int = [&rec](const char* name) {
+      return std::to_string(
+          static_cast<int>(engine::component_value(rec.components, name)));
+    };
+    t2.add_row(
+        {as_int("lemma"), as_int("k"), as_int("a"),
+         io::format_fixed(engine::component_value(rec.components, "lo"), 5),
+         io::format_fixed(engine::component_value(rec.components, "hi"), 5),
+         io::format_fixed(
+             engine::component_value(rec.components, "overlap_mid"), 1),
+         io::format_fixed(engine::component_value(rec.components, "predicted"),
+                          1)});
   }
   t2.print(std::cout, "\nLemma 9/10 window checks (tau at window midpoint):");
 

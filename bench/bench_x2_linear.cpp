@@ -9,19 +9,24 @@
 //    disagree on +x — the 1-D specialisation of Theorem 4;
 //  * for the same clock ratio, the 1-D schedule meets much faster than
 //    the 2-D one (lower-dimensional search).
+//
+// Every sweep is a declarative `engine::ScenarioSet`: the line halves
+// are linear-family cells (zigzag search / linear rendezvous), the
+// plane halves are search cells with explicit targets and rendezvous
+// cells, paired up through `ResultSet::filtered`.  This file only
+// declares the cells and reports.
 
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
 #include "mathx/constants.hpp"
 #include "io/table.hpp"
 #include "linear/linear_rendezvous.hpp"
 #include "linear/zigzag.hpp"
-#include "rendezvous/algorithm7.hpp"
-#include "search/algorithm4.hpp"
 #include "search/times.hpp"
-#include "sim/simulator.hpp"
 
 int main() {
   using namespace rv;
@@ -29,36 +34,56 @@ int main() {
                 "related work [11]; Theorem 4 specialised to the line");
 
   // --- search: line Θ(d) vs plane Θ(d²/r·log) -----------------------------
+  const std::vector<double> depths{1.0, 2.0, 4.0, 8.0};
+
+  engine::ScenarioSet s1;
+  engine::LinearCell line_base;
+  line_base.mode = engine::LinearMode::kZigZagSearch;
+  line_base.visibility = 1e-3;
+  s1.linear_base(line_base)
+      .linear_distances(depths)
+      .linear_horizon([](const engine::LinearCell& c) {
+        return linear::zigzag_reach_bound(c.target) + 1.0;
+      })
+      .search_horizon([](const engine::SearchCell& c) {
+        return search::time_first_rounds(
+                   search::guaranteed_round(c.distance, c.visibility)) +
+               1.0;
+      });
+  for (const double d : depths) {
+    engine::SearchCell plane;
+    plane.distance = d;
+    plane.visibility = 0.125;
+    plane.targets = {{0.0, d}};  // the pre-port target, straight up the y axis
+    s1.add_search(plane);
+  }
+
+  const engine::ResultSet r1 = engine::run_scenarios(s1);
+  const engine::ResultSet lines = r1.filtered(engine::Family::kLinear);
+  const engine::ResultSet planes = r1.filtered(engine::Family::kSearch);
+
   io::Table t1({"d", "line t (r->0)", "16d", "plane t (r=0.125)",
                 "plane/line"});
   std::vector<io::CsvRow> csv1;
-  for (const double d : {1.0, 2.0, 4.0, 8.0}) {
-    sim::SimOptions line_opts;
-    line_opts.visibility = 1e-3;
-    line_opts.max_time = linear::zigzag_reach_bound(d) + 1.0;
-    const auto line = sim::simulate_search(linear::make_zigzag_program(),
-                                           {d, 0.0}, line_opts);
-    sim::SimOptions plane_opts;
-    plane_opts.visibility = 0.125;
-    plane_opts.max_time =
-        search::time_first_rounds(search::guaranteed_round(d, 0.125)) + 1.0;
-    const auto plane = sim::simulate_search(search::make_search_program(),
-                                            {0.0, d}, plane_opts);
-    if (!line.met || !plane.met) {
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    const double d = depths[i];
+    const sim::SimResult& line = lines[i].linear_outcome.sim;
+    const engine::SearchOutcome& plane = planes[i].search_outcome;
+    if (!line.met || !plane.complete) {
       std::cerr << "UNEXPECTED MISS d=" << d << '\n';
       return 1;
     }
     t1.add_row({io::format_fixed(d, 1), io::format_fixed(line.time, 1),
-                io::format_fixed(16.0 * d, 1), io::format_fixed(plane.time, 1),
-                io::format_fixed(plane.time / line.time, 1) + "x"});
+                io::format_fixed(16.0 * d, 1),
+                io::format_fixed(plane.worst_time, 1),
+                io::format_fixed(plane.worst_time / line.time, 1) + "x"});
     csv1.push_back({io::format_double(d), io::format_double(line.time),
-                    io::format_double(plane.time)});
+                    io::format_double(plane.worst_time)});
   }
   t1.print(std::cout, "search: doubling zigzag (line) vs Algorithm 4 (plane):");
   bench::dump_csv("x2_line_vs_plane_search.csv", {"d", "line", "plane"}, csv1);
 
   // --- rendezvous across the 1-D attribute families ------------------------
-  io::Table t2({"v", "tau", "dir", "feasible", "meet t", "outcome"});
   struct Cell {
     double v, tau;
     int dir;
@@ -66,18 +91,28 @@ int main() {
   const std::vector<Cell> cells{{1.0, 1.0, 1},  {2.0, 1.0, 1},
                                 {1.0, 0.5, 1},  {1.0, 0.75, 1},
                                 {1.0, 1.0, -1}, {0.5, 0.5, -1}};
+
+  engine::ScenarioSet s2;
+  s2.linear_horizon([](const engine::LinearCell& c) {
+    return linear::linear_rendezvous_feasible(c.attrs) ? 1e6 : 2e4;
+  });
   for (const Cell& c : cells) {
-    linear::LinearAttributes attrs;
-    attrs.speed = c.v;
-    attrs.time_unit = c.tau;
-    attrs.direction = c.dir;
-    const bool feasible = linear::linear_rendezvous_feasible(attrs);
-    sim::SimOptions opts;
-    opts.visibility = 0.05;
-    opts.max_time = feasible ? 1e6 : 2e4;
-    const auto res = sim::simulate_rendezvous(
-        [] { return linear::make_linear_rendezvous_program(); },
-        linear::to_planar(attrs), {1.0, 0.0}, opts);
+    engine::LinearCell cell;
+    cell.mode = engine::LinearMode::kRendezvous;
+    cell.attrs.speed = c.v;
+    cell.attrs.time_unit = c.tau;
+    cell.attrs.direction = c.dir;
+    cell.target = 1.0;
+    cell.visibility = 0.05;
+    s2.add_linear(cell);
+  }
+
+  const engine::ResultSet truth = engine::run_scenarios(s2);
+  io::Table t2({"v", "tau", "dir", "feasible", "meet t", "outcome"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const bool feasible = truth[i].linear_outcome.feasible;
+    const sim::SimResult& res = truth[i].linear_outcome.sim;
     t2.add_row({io::format_fixed(c.v, 2), io::format_fixed(c.tau, 2),
                 std::to_string(c.dir), feasible ? "yes" : "NO",
                 res.met ? io::format_fixed(res.time, 1) : "-",
@@ -91,22 +126,35 @@ int main() {
   t2.print(std::cout, "\nlinear rendezvous (d = 1, r = 0.05):");
 
   // --- line vs plane on the clock families ---------------------------------
+  const std::vector<double> taus{0.5, 0.6, 0.75};
+  engine::ScenarioSet s3;
+  for (const double tau : taus) {
+    rendezvous::Scenario plane;
+    plane.attrs.time_unit = tau;
+    plane.offset = {1.0, 0.0};
+    plane.visibility = 0.2;
+    plane.max_time = 1e6;
+    s3.add(plane);
+
+    engine::LinearCell line;
+    line.mode = engine::LinearMode::kRendezvous;
+    line.attrs.time_unit = tau;
+    line.target = 1.0;
+    line.visibility = 0.2;
+    line.max_time = 1e6;
+    s3.add_linear(line);
+  }
+
+  const engine::ResultSet r3 = engine::run_scenarios(s3);
+  const engine::ResultSet l3 = r3.filtered(engine::Family::kLinear);
+  const engine::ResultSet p3 = r3.filtered(engine::Family::kRendezvous);
+
   io::Table t3({"tau", "line meet t", "plane meet t", "plane/line"});
   std::vector<io::CsvRow> csv3;
-  for (const double tau : {0.5, 0.6, 0.75}) {
-    linear::LinearAttributes lattrs;
-    lattrs.time_unit = tau;
-    sim::SimOptions opts;
-    opts.visibility = 0.2;
-    opts.max_time = 1e6;
-    const auto line = sim::simulate_rendezvous(
-        [] { return linear::make_linear_rendezvous_program(); },
-        linear::to_planar(lattrs), {1.0, 0.0}, opts);
-    geom::RobotAttributes pattrs;
-    pattrs.time_unit = tau;
-    const auto plane = sim::simulate_rendezvous(
-        [] { return rendezvous::make_rendezvous_program(); }, pattrs,
-        {1.0, 0.0}, opts);
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    const double tau = taus[i];
+    const sim::SimResult& line = l3[i].linear_outcome.sim;
+    const sim::SimResult& plane = p3[i].outcome.sim;
     if (!line.met || !plane.met) {
       std::cerr << "UNEXPECTED MISS tau=" << tau << '\n';
       return 1;

@@ -6,16 +6,21 @@
 // bench rasterises the r-neighbourhood actually swept by Algorithm 4
 // and the baselines and reports (a) time to 99% coverage of the disk
 // vs the area budget, and (b) sweep efficiency = covered area / (2r·t).
+//
+// The sweep is a declarative coverage-family `engine::ScenarioSet`: a
+// program axis over a single (R, r) base cell, rasterised engine-side
+// (`run_coverage_cell` returns the checkpoint series plus t50/t99).
+// This file only declares the grid and reports.
 
 #include <iostream>
 #include <vector>
 
 #include "analysis/coverage.hpp"
 #include "bench_common.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
 #include "mathx/constants.hpp"
 #include "io/table.hpp"
-#include "search/algorithm4.hpp"
-#include "search/baselines.hpp"
 #include "search/times.hpp"
 #include "viz/ascii.hpp"
 
@@ -29,17 +34,35 @@ int main() {
   const double r = 0.1;
   const double budget = analysis::area_budget_time(R, r);
 
-  struct Contender {
-    const char* label;
-    std::function<std::shared_ptr<traj::Program>()> make;
-  };
-  const std::vector<Contender> contenders{
-      {"Algorithm 4", [] { return search::make_search_program(); }},
-      {"concentric baseline",
-       [] { return search::make_concentric_baseline(); }},
-      {"square spiral baseline",
-       [] { return search::make_square_spiral_baseline(); }},
-  };
+  engine::CoverageCell base;
+  base.disk_radius = R;
+  base.visibility = r;
+  base.cell = 0.02;
+  base.checkpoints = 48;
+  engine::ScenarioSet set;
+  set.coverage_base(base)
+      .coverage_programs({engine::SearchProgram::kAlgorithm4,
+                          engine::SearchProgram::kConcentric,
+                          engine::SearchProgram::kSquareSpiral})
+      .coverage_horizon([](const engine::CoverageCell& c) {
+        // Generous horizon: several times the Theorem 1 time for the
+        // worst (d = R) instance.
+        return 4.0 * search::time_first_rounds(
+                         search::guaranteed_round(c.disk_radius,
+                                                  c.visibility));
+      })
+      .coverage_label([](const engine::CoverageCell& c) {
+        switch (c.program) {
+          case engine::SearchProgram::kAlgorithm4: return "Algorithm 4";
+          case engine::SearchProgram::kConcentric:
+            return "concentric baseline";
+          case engine::SearchProgram::kSquareSpiral:
+            return "square spiral baseline";
+        }
+        return "?";
+      });
+
+  const engine::ResultSet results = engine::run_scenarios(set);
 
   io::Table table({"strategy", "t @ 50%", "t @ 99%", "area budget pi R^2/2r",
                    "99% / budget", "efficiency @ 99%"});
@@ -47,40 +70,29 @@ int main() {
   std::vector<viz::AsciiSeries> curves;
   const char glyphs[3] = {'*', 'o', '+'};
 
-  for (std::size_t ci = 0; ci < contenders.size(); ++ci) {
-    analysis::CoverageOptions opts;
-    opts.visibility = r;
-    opts.disk_radius = R;
-    opts.cell = 0.02;
-    opts.checkpoints = 48;
-    // Generous horizon: several times the Theorem 1 time for the
-    // worst (d = R) instance.
-    opts.horizon =
-        4.0 * search::time_first_rounds(search::guaranteed_round(R, r));
-    const auto series =
-        analysis::measure_coverage(contenders[ci].make(),
-                                   geom::reference_attributes(), opts);
-    double t50 = -1.0, t99 = -1.0, eff99 = 0.0;
+  for (std::size_t ci = 0; ci < results.size(); ++ci) {
+    const engine::CoverageOutcome& out = results[ci].coverage_outcome;
+    const double t50 = out.t50;
+    const double t99 = out.t99;
+    const analysis::CoveragePoint* p99 =
+        analysis::first_at_fraction(out.series, 0.99);
+    const double eff99 =
+        p99 ? p99->covered_area / (2.0 * r * p99->time) : 0.0;
     viz::AsciiSeries curve;
     curve.glyph = glyphs[ci % 3];
-    curve.label = contenders[ci].label;
-    for (const auto& pt : series) {
+    curve.label = results[ci].label;
+    for (const analysis::CoveragePoint& pt : out.series) {
       curve.x.push_back(pt.time);
       curve.y.push_back(pt.fraction);
-      if (t50 < 0.0 && pt.fraction >= 0.50) t50 = pt.time;
-      if (t99 < 0.0 && pt.fraction >= 0.99) {
-        t99 = pt.time;
-        eff99 = pt.covered_area / (2.0 * r * pt.time);
-      }
     }
     curves.push_back(std::move(curve));
-    table.add_row({contenders[ci].label,
+    table.add_row({results[ci].label,
                    t50 >= 0.0 ? io::format_fixed(t50, 0) : ">horizon",
                    t99 >= 0.0 ? io::format_fixed(t99, 0) : ">horizon",
                    io::format_fixed(budget, 0),
                    t99 >= 0.0 ? io::format_fixed(t99 / budget, 2) + "x" : "-",
                    t99 >= 0.0 ? io::format_fixed(eff99, 3) : "-"});
-    csv.push_back({contenders[ci].label, io::format_double(t50),
+    csv.push_back({results[ci].label, io::format_double(t50),
                    io::format_double(t99), io::format_double(budget)});
   }
 

@@ -139,4 +139,18 @@ double area_budget_time(double disk_radius, double r) {
   return rv::mathx::kPi * disk_radius * disk_radius / (2.0 * r);
 }
 
+const CoveragePoint* first_at_fraction(
+    const std::vector<CoveragePoint>& series, double fraction) {
+  for (const CoveragePoint& pt : series) {
+    if (pt.fraction >= fraction) return &pt;
+  }
+  return nullptr;
+}
+
+double time_to_fraction(const std::vector<CoveragePoint>& series,
+                        double fraction) {
+  const CoveragePoint* pt = first_at_fraction(series, fraction);
+  return pt ? pt->time : -1.0;
+}
+
 }  // namespace rv::analysis

@@ -88,4 +88,14 @@ struct CoverageOptions {
 /// at visibility r: πR²/(2r) (the [25] accounting, up to constants).
 [[nodiscard]] double area_budget_time(double disk_radius, double r);
 
+/// First checkpoint of the series with covered fraction ≥ `fraction`,
+/// or nullptr when the series never reaches it.
+[[nodiscard]] const CoveragePoint* first_at_fraction(
+    const std::vector<CoveragePoint>& series, double fraction);
+
+/// Time of that checkpoint, or −1.0 when the fraction is never reached
+/// (the benches' ">horizon" sentinel).
+[[nodiscard]] double time_to_fraction(
+    const std::vector<CoveragePoint>& series, double fraction);
+
 }  // namespace rv::analysis

@@ -1,8 +1,10 @@
 #include "engine/families.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
+#include "linear/zigzag.hpp"
 #include "mathx/constants.hpp"
 #include "mathx/stats.hpp"
 #include "search/algorithm4.hpp"
@@ -16,46 +18,87 @@ const char* family_name(Family family) {
     case Family::kRendezvous: return "rendezvous";
     case Family::kSearch: return "search";
     case Family::kGather: return "gather";
+    case Family::kLinear: return "linear";
+    case Family::kCoverage: return "coverage";
+  }
+  return "?";
+}
+
+double component_value(const Components& components,
+                       const std::string& name) {
+  for (const Component& c : components) {
+    if (c.name == name) return c.value;
+  }
+  throw std::out_of_range("component_value: no component named '" + name +
+                          "'");
+}
+
+const char* linear_mode_name(LinearMode mode) {
+  switch (mode) {
+    case LinearMode::kZigZagSearch: return "zigzag-search";
+    case LinearMode::kRendezvous: return "linear-rendezvous";
   }
   return "?";
 }
 
 namespace {
 
-std::shared_ptr<traj::Program> make_search_cell_program(
-    const SearchCell& cell) {
-  if (cell.program_factory) return cell.program_factory();
-  switch (cell.program) {
+/// Shared program dispatch of the search and coverage families: the
+/// custom factory wins, otherwise the built-in choice.
+std::shared_ptr<traj::Program> make_family_program(
+    SearchProgram program,
+    const std::function<std::shared_ptr<traj::Program>()>& factory) {
+  if (factory) return factory();
+  switch (program) {
     case SearchProgram::kAlgorithm4: return search::make_search_program();
     case SearchProgram::kConcentric: return search::make_concentric_baseline();
     case SearchProgram::kSquareSpiral:
       return search::make_square_spiral_baseline();
   }
-  throw std::invalid_argument("run_search_cell: unknown program");
+  throw std::invalid_argument("make_family_program: unknown program");
+}
+
+std::shared_ptr<traj::Program> make_search_cell_program(
+    const SearchCell& cell) {
+  return make_family_program(cell.program, cell.program_factory);
 }
 
 }  // namespace
 
 SearchOutcome run_search_cell(const SearchCell& cell) {
-  if (cell.angles < 1) {
-    throw std::invalid_argument("run_search_cell: need >= 1 angle");
+  // Explicit targets override the angle ring entirely.
+  const bool explicit_targets = !cell.targets.empty();
+  if (!explicit_targets) {
+    if (cell.angles < 1) {
+      throw std::invalid_argument("run_search_cell: need >= 1 angle");
+    }
+    if (!(cell.distance > 0.0)) {
+      throw std::invalid_argument("run_search_cell: distance must be > 0");
+    }
   }
-  if (!(cell.distance > 0.0)) {
-    throw std::invalid_argument("run_search_cell: distance must be > 0");
-  }
+  const int count =
+      explicit_targets ? static_cast<int>(cell.targets.size()) : cell.angles;
   SearchOutcome out;
   mathx::RunningStats stats;
-  // The worst-over-angles reducer: simulate every target angle of the
-  // ring (in ring order, so the reduction is deterministic) and keep
-  // the worst/mean discovery time over the found ones.
-  for (int a = 0; a < cell.angles; ++a) {
-    const double ang = 2.0 * mathx::kPi * a / cell.angles + cell.angle_offset;
+  // The worst-over-angles reducer: simulate every target of the ring
+  // (in ring order, so the reduction is deterministic) and keep the
+  // worst/mean discovery time over the found ones.
+  for (int a = 0; a < count; ++a) {
+    geom::Vec2 target;
+    double ang;
+    if (explicit_targets) {
+      target = cell.targets[static_cast<std::size_t>(a)];
+      ang = std::atan2(target.y, target.x);
+    } else {
+      ang = 2.0 * mathx::kPi * a / cell.angles + cell.angle_offset;
+      target = geom::polar(cell.distance, ang);
+    }
     sim::SimOptions opts;
     opts.visibility = cell.visibility;
     opts.max_time = cell.max_time;
     const sim::SimResult res =
-        sim::simulate_search(make_search_cell_program(cell),
-                             geom::polar(cell.distance, ang), opts, cell.attrs);
+        sim::simulate_search(make_search_cell_program(cell), target, opts,
+                             cell.attrs);
     out.evals += res.evals;
     out.segments += res.segments;
     if (res.met) {
@@ -70,11 +113,57 @@ SearchOutcome run_search_cell(const SearchCell& cell) {
       ++out.missed;
     }
   }
-  out.complete = out.found == cell.angles;
+  out.complete = out.found == count;
   out.mean_time = out.found > 0 ? stats.mean() : 0.0;
   out.program_name = cell.program_name.empty()
                          ? make_search_cell_program(cell)->name()
                          : cell.program_name;
+  return out;
+}
+
+LinearOutcome run_linear_cell(const LinearCell& cell) {
+  LinearOutcome out;
+  sim::SimOptions opts;
+  opts.visibility = cell.visibility;
+  opts.max_time = cell.max_time;
+  switch (cell.mode) {
+    case LinearMode::kZigZagSearch:
+      // The zigzag crosses every point of the line, so the target is
+      // always reachable (r only widens the catch window).
+      out.feasible = true;
+      out.sim = sim::simulate_search(linear::make_zigzag_program(),
+                                     {cell.target, 0.0}, opts,
+                                     linear::to_planar(cell.attrs));
+      return out;
+    case LinearMode::kRendezvous:
+      out.feasible = linear::linear_rendezvous_feasible(cell.attrs);
+      out.sim = sim::simulate_rendezvous(
+          [] { return linear::make_linear_rendezvous_program(); },
+          linear::to_planar(cell.attrs), {cell.target, 0.0}, opts);
+      return out;
+  }
+  throw std::invalid_argument("run_linear_cell: unknown mode");
+}
+
+CoverageOutcome run_coverage_cell(const CoverageCell& cell) {
+  analysis::CoverageOptions opts;
+  opts.visibility = cell.visibility;
+  opts.disk_radius = cell.disk_radius;
+  opts.cell = cell.cell;
+  opts.checkpoints = cell.checkpoints;
+  opts.horizon = cell.horizon;
+  CoverageOutcome out;
+  const std::shared_ptr<traj::Program> program =
+      make_family_program(cell.program, cell.program_factory);
+  out.program_name =
+      cell.program_name.empty() ? program->name() : cell.program_name;
+  out.series = analysis::measure_coverage(program, cell.attrs, opts);
+  out.t50 = analysis::time_to_fraction(out.series, 0.50);
+  out.t99 = analysis::time_to_fraction(out.series, 0.99);
+  if (!out.series.empty()) {
+    out.final_fraction = out.series.back().fraction;
+    out.covered_area = out.series.back().covered_area;
+  }
   return out;
 }
 
@@ -152,6 +241,9 @@ void append_vec2(std::string& out, const geom::Vec2& v) {
 }  // namespace
 
 std::optional<std::string> cache_key(const WorkItem& item) {
+  // Components-only items have no payload outcome to memoize, and the
+  // hook itself (an arbitrary function) has no stable identity.
+  if (item.components_only) return std::nullopt;
   std::string key;
   switch (item.family) {
     case Family::kRendezvous: {
@@ -184,6 +276,11 @@ std::optional<std::string> cache_key(const WorkItem& item) {
       append_f64(key, c.visibility);
       append_i32(key, c.angles);
       append_f64(key, c.angle_offset);
+      // Explicit targets replace the ring, so they are part of the
+      // content (count-prefixed: a ring cell and a target cell with
+      // otherwise equal fields must not alias).
+      append_i32(key, static_cast<std::int32_t>(c.targets.size()));
+      for (const geom::Vec2& t : c.targets) append_vec2(key, t);
       append_attrs(key, c.attrs);
       append_f64(key, c.max_time);
       return key;
@@ -201,6 +298,37 @@ std::optional<std::string> cache_key(const WorkItem& item) {
       append_f64(key, c.visibility);
       append_f64(key, c.contact_max_time);
       append_f64(key, c.gather_max_time);
+      return key;
+    }
+    case Family::kLinear: {
+      const LinearCell& c = item.linear;
+      key += 'L';
+      append_i32(key, static_cast<std::int32_t>(c.mode));
+      append_f64(key, c.attrs.speed);
+      append_f64(key, c.attrs.time_unit);
+      append_i32(key, c.attrs.direction);
+      append_f64(key, c.target);
+      append_f64(key, c.visibility);
+      append_f64(key, c.max_time);
+      return key;
+    }
+    case Family::kCoverage: {
+      const CoverageCell& c = item.coverage;
+      key += 'C';
+      if (!append_program_identity(key, static_cast<bool>(c.program_factory),
+                                   c.program_name,
+                                   static_cast<std::int32_t>(c.program))) {
+        return std::nullopt;
+      }
+      // Keyed even without a factory: run_coverage_cell echoes a
+      // non-empty program_name into the reported outcome.
+      append_str(key, c.program_name);
+      append_attrs(key, c.attrs);
+      append_f64(key, c.disk_radius);
+      append_f64(key, c.visibility);
+      append_f64(key, c.cell);
+      append_i32(key, c.checkpoints);
+      append_f64(key, c.horizon);
       return key;
     }
   }

@@ -6,7 +6,7 @@
 /// PR 1 made `src/engine/` the single certified sweep + declarative
 /// batch runner, but only for 2-robot rendezvous scenarios.  This layer
 /// generalises the engine into a *multi-workload* batch system: a
-/// `ScenarioSet` may declare cells from three families —
+/// `ScenarioSet` may declare cells from five families —
 ///
 ///  * **rendezvous** — the original `rendezvous::Scenario` attribute
 ///    grid (v, τ, φ, χ, offset);
@@ -16,7 +16,19 @@
 ///    every search bench used to hand-roll);
 ///  * **gather** — an n-robot fleet on an origin ring, swept for both
 ///    first contact (min-pairwise) and all-pairs gathering
-///    (max-pairwise).
+///    (max-pairwise);
+///  * **linear** — the 1-D (infinite line) setting of the paper's
+///    predecessor [11]: doubling-zigzag search to a signed coordinate,
+///    or linear rendezvous under 1-D attributes (v, τ, δ);
+///  * **coverage** — swept-area accounting: the r-neighbourhood of one
+///    program's trajectory rasterised onto a grid, reported as a
+///    coverage-vs-time series against a target disk (the area argument
+///    of the Ω(d²/r) lower bound, [25]).
+///
+/// In addition every work item may carry a **component-times hook**:
+/// a function producing named numeric sub-metrics (e.g. Lemma 2's
+/// closed forms next to measured path durations) that the runner
+/// evaluates per cell and `ResultSet` emits as extra standard columns.
 ///
 /// All families are executed by the same deterministic `Runner`
 /// (results placed by cell index, never completion order) and reported
@@ -30,10 +42,13 @@
 #include <string>
 #include <vector>
 
+#include "analysis/coverage.hpp"
 #include "gather/multi_simulator.hpp"
 #include "geom/attributes.hpp"
 #include "geom/vec2.hpp"
+#include "linear/linear_rendezvous.hpp"
 #include "rendezvous/core.hpp"
+#include "sim/simulator.hpp"
 #include "traj/program.hpp"
 
 namespace rv::engine {
@@ -43,10 +58,43 @@ enum class Family {
   kRendezvous,  ///< 2-robot rendezvous scenario
   kSearch,      ///< single searcher vs stationary target, angle ring
   kGather,      ///< n-robot fleet, first-contact + all-pairs sweeps
+  kLinear,      ///< 1-D zigzag search / linear rendezvous ([11])
+  kCoverage,    ///< rasterised swept-area accounting ([25])
 };
 
-/// Display name ("rendezvous", "search", "gather").
+/// Display name ("rendezvous", "search", "gather", "linear",
+/// "coverage").
 [[nodiscard]] const char* family_name(Family family);
+
+// ---------------------------------------------------------------------------
+// Component times (named sub-metric columns)
+// ---------------------------------------------------------------------------
+
+/// One named numeric sub-metric of a cell — e.g. a Lemma 2 closed form
+/// next to the measured duration of the generated trajectory.
+struct Component {
+  std::string name;
+  double value = 0.0;
+};
+
+/// The component times of one cell, in declaration order (the order
+/// becomes the column order in `ResultSet` emission).
+using Components = std::vector<Component>;
+
+/// The value of the named component.  \throws std::out_of_range when
+/// the name is absent.
+[[nodiscard]] double component_value(const Components& components,
+                                     const std::string& name);
+
+struct RunRecord;  // defined below, after the cells and outcomes
+
+/// The component-times hook of a work item: evaluated by the runner
+/// after the cell's payload run (the record carries both the cell and
+/// its outcome), inside the worker, so hooks parallelise with the
+/// sweep.  Must be a pure function of the record.  `ScenarioSet`
+/// installs per-family typed hooks and per-cell overrides; see
+/// engine/scenario_set.hpp.
+using ComponentsFn = std::function<Components(const RunRecord&)>;
 
 // ---------------------------------------------------------------------------
 // Search family
@@ -68,6 +116,12 @@ struct SearchCell {
   double visibility = 0.05;   ///< r: discovery radius
   int angles = 1;             ///< ring size (targets at 2πa/angles + offset)
   double angle_offset = 0.0;  ///< phase of the ring (avoid axis artefacts)
+  /// Explicit target positions overriding the angle ring: when
+  /// non-empty, exactly these targets are simulated (in order) and
+  /// `distance`/`angles`/`angle_offset` are ignored by the reducer
+  /// (keep them set for display if you like).  The reported worst/miss
+  /// angles are atan2(y, x) of the targets.
+  std::vector<geom::Vec2> targets;
   SearchProgram program = SearchProgram::kAlgorithm4;
   /// Optional custom program factory overriding `program` (ablations,
   /// e.g. A3's spacing variants).  Must return a fresh Program per
@@ -131,6 +185,85 @@ struct GatherOutcome {
 [[nodiscard]] GatherOutcome run_gather_cell(const GatherCell& cell);
 
 // ---------------------------------------------------------------------------
+// Linear family (the 1-D setting of [11])
+// ---------------------------------------------------------------------------
+
+/// What a linear cell runs.
+enum class LinearMode {
+  kZigZagSearch,  ///< doubling zigzag to the target at coordinate x
+  kRendezvous,    ///< universal linear rendezvous under (v, τ, δ)
+};
+
+/// Display name ("zigzag-search", "linear-rendezvous").
+[[nodiscard]] const char* linear_mode_name(LinearMode mode);
+
+/// One 1-D cell.  All motion is on the x axis of the shared planar
+/// substrate: the search mode runs the doubling zigzag
+/// (`linear::ZigZagProgram`) from the origin against a stationary
+/// target at `(target, 0)`; the rendezvous mode runs the phase-scheduled
+/// linear rendezvous program on both robots, with R′ carrying the 1-D
+/// attributes `attrs` (lifted through `linear::to_planar`) and starting
+/// at `(target, 0)`.
+struct LinearCell {
+  LinearMode mode = LinearMode::kRendezvous;
+  linear::LinearAttributes attrs;  ///< R′'s hidden (v, τ, δ); search: searcher
+  double target = 1.0;  ///< signed target coordinate / initial offset d
+  double visibility = 0.05;  ///< r (on the line: the catch half-width)
+  double max_time = 1e6;     ///< simulation horizon
+};
+
+/// Outcome of one linear cell.
+struct LinearOutcome {
+  /// Rendezvous mode: the [11] feasibility predicate
+  /// (`linear::linear_rendezvous_feasible`); search mode: always true
+  /// (the zigzag crosses every point of the line).
+  bool feasible = false;
+  sim::SimResult sim;  ///< the certified sweep result
+};
+
+/// Runs one linear cell.  \throws std::invalid_argument when the
+/// rendezvous offset is 0 (robots must start apart) or the attributes
+/// are invalid.
+[[nodiscard]] LinearOutcome run_linear_cell(const LinearCell& cell);
+
+// ---------------------------------------------------------------------------
+// Coverage family (the [25] area accounting)
+// ---------------------------------------------------------------------------
+
+/// One swept-area cell: a program (built-in `SearchProgram` choice or a
+/// custom factory, as in the search family) run from the origin for
+/// `horizon` time, its r-neighbourhood rasterised at resolution `cell`
+/// and reported against the disk of radius `disk_radius`.
+struct CoverageCell {
+  SearchProgram program = SearchProgram::kAlgorithm4;
+  /// Optional custom program factory overriding `program` (same
+  /// contract as `SearchCell::program_factory`).
+  std::function<std::shared_ptr<traj::Program>()> program_factory;
+  std::string program_name;  ///< reported name when `program_factory` set
+  geom::RobotAttributes attrs = geom::reference_attributes();  ///< the robot
+  double disk_radius = 2.0;  ///< R: target disk for coverage fractions
+  double visibility = 0.1;   ///< r: swept neighbourhood radius
+  double cell = 0.02;        ///< rasterisation grid resolution
+  int checkpoints = 32;      ///< series points over the horizon
+  double horizon = 1e4;      ///< how long to run the program
+};
+
+/// Outcome of one coverage cell: the full coverage-vs-time series plus
+/// the standard summary figures.
+struct CoverageOutcome {
+  std::vector<analysis::CoveragePoint> series;  ///< checkpoint series
+  std::string program_name;  ///< resolved program name
+  double t50 = -1.0;  ///< first checkpoint time with fraction ≥ 0.50 (−1: never)
+  double t99 = -1.0;  ///< first checkpoint time with fraction ≥ 0.99 (−1: never)
+  double final_fraction = 0.0;  ///< covered fraction at the last checkpoint
+  double covered_area = 0.0;    ///< absolute marked area at the last checkpoint
+};
+
+/// Runs one coverage cell.  \throws std::invalid_argument on bad
+/// geometry/options (propagated from `analysis::measure_coverage`).
+[[nodiscard]] CoverageOutcome run_coverage_cell(const CoverageCell& cell);
+
+// ---------------------------------------------------------------------------
 // Work items
 // ---------------------------------------------------------------------------
 
@@ -142,6 +275,49 @@ struct WorkItem {
   rendezvous::Scenario scenario;  ///< kRendezvous payload
   SearchCell search;              ///< kSearch payload
   GatherCell gather;              ///< kGather payload
+  LinearCell linear;              ///< kLinear payload
+  CoverageCell coverage;          ///< kCoverage payload
+  /// Component-times hook; evaluated by the runner after the payload
+  /// run (or immediately, for `components_only` items) and emitted by
+  /// `ResultSet` as extra standard columns.
+  ComponentsFn components;
+  /// When true the payload run is skipped entirely: the outcome stays
+  /// default-constructed and only `components` is evaluated.  Used for
+  /// pure-algebra sweeps (e.g. Lemma 2 closed forms) that want the
+  /// declarative grid + deterministic parallel runner without a
+  /// simulation.  Components-only items have no content key (nothing
+  /// is memoized), so they count as uncacheable under a cache.
+  bool components_only = false;
+};
+
+// ---------------------------------------------------------------------------
+// Run records
+// ---------------------------------------------------------------------------
+
+/// One executed work item: what ran and what happened.  Only the
+/// payload pair matching `family` is meaningful.  (Defined here rather
+/// than in runner.hpp so component-times hooks can see both the cell
+/// and its outcome.)
+struct RunRecord {
+  Family family = Family::kRendezvous;
+  std::string label;
+  // kRendezvous payload
+  rendezvous::Scenario scenario;
+  rendezvous::Outcome outcome;
+  // kSearch payload
+  SearchCell search;
+  SearchOutcome search_outcome;
+  // kGather payload
+  GatherCell gather;
+  GatherOutcome gather_outcome;
+  // kLinear payload
+  LinearCell linear;
+  LinearOutcome linear_outcome;
+  // kCoverage payload
+  CoverageCell coverage;
+  CoverageOutcome coverage_outcome;
+  /// Evaluated component times (empty when the item had no hook).
+  Components components;
 };
 
 // ---------------------------------------------------------------------------
@@ -162,7 +338,9 @@ struct WorkItem {
 /// has no stable identity, so memoizing it could silently alias two
 /// different programs.  Give the cell a unique `program_name` to make
 /// it cacheable (the name must identify the program, and the factory
-/// must be deterministic).
+/// must be deterministic).  Components-only items are also uncacheable:
+/// they produce no payload outcome to memoize (component hooks are
+/// always re-evaluated, never cached).
 [[nodiscard]] std::optional<std::string> cache_key(const WorkItem& item);
 
 }  // namespace rv::engine

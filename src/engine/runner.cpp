@@ -28,6 +28,14 @@ constexpr const char* kGatherColumns[] = {
     "contact",  "contact_time", "pair_i",     "pair_j",
     "gathered", "gathered_time", "min_max_pairwise", "evals", "segments"};
 
+constexpr const char* kLinearColumns[] = {
+    "mode", "v",    "tau",      "dir",          "d",     "r",       "feasible",
+    "met",  "time", "distance", "min_distance", "evals", "segments"};
+
+constexpr const char* kCoverageColumns[] = {
+    "program", "R",   "r",   "cell",           "checkpoints",
+    "horizon", "t50", "t99", "final_fraction", "covered_area"};
+
 /// Escapes a string per RFC 8259: quote, backslash, and *every*
 /// control character below 0x20 (named escapes where JSON has them,
 /// \u00XX otherwise).  Raw control characters in the output would make
@@ -96,6 +104,12 @@ bool ResultSet::all_met() const {
       case Family::kGather:
         if (!rec.gather_outcome.gathered.achieved) return false;
         break;
+      case Family::kLinear:
+        if (!rec.linear_outcome.sim.met) return false;
+        break;
+      case Family::kCoverage:
+        if (rec.coverage_outcome.t99 < 0.0) return false;
+        break;
     }
   }
   return true;
@@ -146,6 +160,25 @@ Family ResultSet::emission_family() const {
   return family;
 }
 
+std::vector<std::string> ResultSet::component_names() const {
+  std::vector<std::string> names;
+  if (records_.empty()) return names;
+  names.reserve(records_[0].components.size());
+  for (const Component& c : records_[0].components) names.push_back(c.name);
+  for (const RunRecord& rec : records_) {
+    bool same = rec.components.size() == names.size();
+    for (std::size_t i = 0; same && i < names.size(); ++i) {
+      same = rec.components[i].name == names[i];
+    }
+    if (!same) {
+      throw std::logic_error(
+          "ResultSet: emission needs one component-column schema; records "
+          "disagree on component names");
+    }
+  }
+  return names;
+}
+
 io::CsvRow ResultSet::csv_header(const std::vector<Column>& extras) const {
   io::CsvRow header;
   if (any_label_) header.push_back("label");
@@ -159,14 +192,22 @@ io::CsvRow ResultSet::csv_header(const std::vector<Column>& extras) const {
     case Family::kGather:
       for (const char* name : kGatherColumns) header.push_back(name);
       break;
+    case Family::kLinear:
+      for (const char* name : kLinearColumns) header.push_back(name);
+      break;
+    case Family::kCoverage:
+      for (const char* name : kCoverageColumns) header.push_back(name);
+      break;
   }
+  for (const std::string& name : component_names()) header.push_back(name);
   for (const Column& col : extras) header.push_back(col.name);
   return header;
 }
 
 std::vector<io::CsvRow> ResultSet::csv_rows(
     const std::vector<Column>& extras) const {
-  (void)emission_family();  // reject mixed sets up front
+  (void)emission_family();   // reject mixed sets up front
+  (void)component_names();   // reject mismatched component schemas
   std::vector<io::CsvRow> rows;
   rows.reserve(records_.size());
   for (const RunRecord& rec : records_) {
@@ -228,6 +269,42 @@ std::vector<io::CsvRow> ResultSet::csv_rows(
             std::to_string(o.contact.segments + o.gathered.segments));
         break;
       }
+      case Family::kLinear: {
+        const LinearCell& c = rec.linear;
+        const LinearOutcome& o = rec.linear_outcome;
+        row.push_back(linear_mode_name(c.mode));
+        row.push_back(io::format_double(c.attrs.speed));
+        row.push_back(io::format_double(c.attrs.time_unit));
+        row.push_back(std::to_string(c.attrs.direction));
+        row.push_back(io::format_double(c.target));
+        row.push_back(io::format_double(c.visibility));
+        row.push_back(o.feasible ? "1" : "0");
+        row.push_back(o.sim.met ? "1" : "0");
+        row.push_back(io::format_double(o.sim.time));
+        row.push_back(io::format_double(o.sim.distance));
+        row.push_back(io::format_double(o.sim.min_distance));
+        row.push_back(std::to_string(o.sim.evals));
+        row.push_back(std::to_string(o.sim.segments));
+        break;
+      }
+      case Family::kCoverage: {
+        const CoverageCell& c = rec.coverage;
+        const CoverageOutcome& o = rec.coverage_outcome;
+        row.push_back(o.program_name);
+        row.push_back(io::format_double(c.disk_radius));
+        row.push_back(io::format_double(c.visibility));
+        row.push_back(io::format_double(c.cell));
+        row.push_back(std::to_string(c.checkpoints));
+        row.push_back(io::format_double(c.horizon));
+        row.push_back(io::format_double(o.t50));
+        row.push_back(io::format_double(o.t99));
+        row.push_back(io::format_double(o.final_fraction));
+        row.push_back(io::format_double(o.covered_area));
+        break;
+      }
+    }
+    for (const Component& c : rec.components) {
+      row.push_back(io::format_double(c.value));
     }
     for (const Column& col : extras) row.push_back(col.value(rec));
     rows.push_back(std::move(row));
@@ -244,7 +321,8 @@ std::string ResultSet::to_csv(const std::vector<Column>& extras) const {
 }
 
 std::string ResultSet::to_json(const std::vector<Column>& extras) const {
-  (void)emission_family();  // reject mixed sets up front
+  (void)emission_family();   // reject mixed sets up front
+  (void)component_names();   // reject mismatched component schemas
   std::ostringstream os;
   os << "[";
   for (std::size_t i = 0; i < records_.size(); ++i) {
@@ -306,6 +384,42 @@ std::string ResultSet::to_json(const std::vector<Column>& extras) const {
            << ", \"segments\": " << o.contact.segments + o.gathered.segments;
         break;
       }
+      case Family::kLinear: {
+        const LinearCell& c = rec.linear;
+        const LinearOutcome& o = rec.linear_outcome;
+        os << "\"mode\": \"" << linear_mode_name(c.mode) << "\", \"v\": "
+           << json_number(c.attrs.speed)
+           << ", \"tau\": " << json_number(c.attrs.time_unit)
+           << ", \"dir\": " << c.attrs.direction
+           << ", \"d\": " << json_number(c.target)
+           << ", \"r\": " << json_number(c.visibility)
+           << ", \"feasible\": " << (o.feasible ? "true" : "false")
+           << ", \"met\": " << (o.sim.met ? "true" : "false")
+           << ", \"time\": " << json_number(o.sim.time)
+           << ", \"distance\": " << json_number(o.sim.distance)
+           << ", \"min_distance\": " << json_number(o.sim.min_distance)
+           << ", \"evals\": " << o.sim.evals
+           << ", \"segments\": " << o.sim.segments;
+        break;
+      }
+      case Family::kCoverage: {
+        const CoverageCell& c = rec.coverage;
+        const CoverageOutcome& o = rec.coverage_outcome;
+        os << "\"program\": \"" << json_escape(o.program_name)
+           << "\", \"R\": " << json_number(c.disk_radius)
+           << ", \"r\": " << json_number(c.visibility)
+           << ", \"cell\": " << json_number(c.cell)
+           << ", \"checkpoints\": " << c.checkpoints
+           << ", \"horizon\": " << json_number(c.horizon)
+           << ", \"t50\": " << json_number(o.t50)
+           << ", \"t99\": " << json_number(o.t99)
+           << ", \"final_fraction\": " << json_number(o.final_fraction)
+           << ", \"covered_area\": " << json_number(o.covered_area);
+        break;
+      }
+    }
+    for (const Component& c : rec.components) {
+      os << ", \"" << json_escape(c.name) << "\": " << json_number(c.value);
     }
     for (const Column& col : extras) {
       os << ", \"" << json_escape(col.name) << "\": \""
@@ -332,7 +446,14 @@ io::Table ResultSet::to_table(const std::vector<Column>& extras,
     case Family::kGather:
       for (const char* name : kGatherColumns) names.push_back(name);
       break;
+    case Family::kLinear:
+      for (const char* name : kLinearColumns) names.push_back(name);
+      break;
+    case Family::kCoverage:
+      for (const char* name : kCoverageColumns) names.push_back(name);
+      break;
   }
+  for (const std::string& name : component_names()) names.push_back(name);
   for (const Column& col : extras) names.push_back(col.name);
   io::Table table(std::move(names));
   if (any_label_) table.set_align(0, io::Align::kLeft);
@@ -396,6 +517,44 @@ io::Table ResultSet::to_table(const std::vector<Column>& extras,
             std::to_string(o.contact.segments + o.gathered.segments));
         break;
       }
+      case Family::kLinear: {
+        const LinearCell& c = rec.linear;
+        const LinearOutcome& o = rec.linear_outcome;
+        row.push_back(linear_mode_name(c.mode));
+        row.push_back(io::format_fixed(c.attrs.speed, 2));
+        row.push_back(io::format_fixed(c.attrs.time_unit, 3));
+        row.push_back(std::to_string(c.attrs.direction));
+        row.push_back(io::format_fixed(c.target, 2));
+        row.push_back(io::format_fixed(c.visibility, 3));
+        row.push_back(o.feasible ? "feasible" : "INFEASIBLE");
+        row.push_back(o.sim.met ? "yes" : "no");
+        row.push_back(io::format_fixed(o.sim.time, precision));
+        row.push_back(io::format_fixed(o.sim.distance, precision));
+        row.push_back(io::format_fixed(o.sim.min_distance, precision));
+        row.push_back(std::to_string(o.sim.evals));
+        row.push_back(std::to_string(o.sim.segments));
+        break;
+      }
+      case Family::kCoverage: {
+        const CoverageCell& c = rec.coverage;
+        const CoverageOutcome& o = rec.coverage_outcome;
+        row.push_back(o.program_name);
+        row.push_back(io::format_fixed(c.disk_radius, 2));
+        row.push_back(io::format_fixed(c.visibility, 3));
+        row.push_back(io::format_fixed(c.cell, 3));
+        row.push_back(std::to_string(c.checkpoints));
+        row.push_back(io::format_fixed(c.horizon, 0));
+        row.push_back(o.t50 >= 0.0 ? io::format_fixed(o.t50, precision)
+                                   : ">horizon");
+        row.push_back(o.t99 >= 0.0 ? io::format_fixed(o.t99, precision)
+                                   : ">horizon");
+        row.push_back(io::format_fixed(o.final_fraction, 4));
+        row.push_back(io::format_fixed(o.covered_area, precision));
+        break;
+      }
+    }
+    for (const Component& c : rec.components) {
+      row.push_back(io::format_fixed(c.value, precision));
     }
     for (const Column& col : extras) row.push_back(col.value(rec));
     table.add_row(std::move(row));
@@ -433,6 +592,12 @@ ResultSet run_scenarios(const std::vector<WorkItem>& work,
           case Family::kGather:
             rec.gather = item.gather;
             break;
+          case Family::kLinear:
+            rec.linear = item.linear;
+            break;
+          case Family::kCoverage:
+            rec.coverage = item.coverage;
+            break;
         }
 
         // Memoization: replay an identical cell's outcome instead of
@@ -458,7 +623,9 @@ ResultSet run_scenarios(const std::vector<WorkItem>& work,
           rec.outcome = std::move(entry.outcome);
           rec.search_outcome = std::move(entry.search_outcome);
           rec.gather_outcome = std::move(entry.gather_outcome);
-        } else {
+          rec.linear_outcome = std::move(entry.linear_outcome);
+          rec.coverage_outcome = std::move(entry.coverage_outcome);
+        } else if (!item.components_only) {
           switch (item.family) {
             case Family::kRendezvous:
               rec.outcome = rendezvous::run_scenario(item.scenario);
@@ -469,14 +636,26 @@ ResultSet run_scenarios(const std::vector<WorkItem>& work,
             case Family::kGather:
               rec.gather_outcome = run_gather_cell(item.gather);
               break;
+            case Family::kLinear:
+              rec.linear_outcome = run_linear_cell(item.linear);
+              break;
+            case Family::kCoverage:
+              rec.coverage_outcome = run_coverage_cell(item.coverage);
+              break;
           }
           if (key) {
             entry.outcome = rec.outcome;
             entry.search_outcome = rec.search_outcome;
             entry.gather_outcome = rec.gather_outcome;
+            entry.linear_outcome = rec.linear_outcome;
+            entry.coverage_outcome = rec.coverage_outcome;
             options.cache->store(*key, std::move(entry));
           }
         }
+        // Component times are evaluated on every run — computed and
+        // replayed cells alike — so caching stays oblivious to the
+        // (identity-less) hook functions.
+        if (item.components) rec.components = item.components(rec);
         records[i] = std::move(rec);
       } catch (...) {
         errors[i] = std::current_exception();

@@ -23,7 +23,13 @@
 ///   * gather — n, ring_radius, r, algorithm, contact, contact_time,
 ///     pair_i, pair_j, gathered, gathered_time, min_max_pairwise,
 ///     evals, segments;
-/// plus caller-supplied derived columns (bounds, ratios, certificates)
+///   * linear — mode, v, tau, dir, d, r, feasible, met, time, distance,
+///     min_distance, evals, segments;
+///   * coverage — program, R, r, cell, checkpoints, horizon, t50, t99,
+///     final_fraction, covered_area;
+/// then one column per component time (when the cells carry a
+/// component-times hook; names must agree across records), then
+/// caller-supplied derived columns (bounds, ratios, certificates)
 /// computed from each record.  Emission requires a homogeneous family;
 /// mixed runs are split per family with `filtered()`.
 
@@ -63,10 +69,15 @@ class ScenarioCache {
   /// One memoized outcome; only the payload matching the key's family
   /// (its leading byte) is meaningful — cross-family collisions are
   /// impossible, so the entry carries no family tag of its own.
+  /// Component times are never stored: hooks are re-evaluated on every
+  /// run (they are pure functions of the record, and an arbitrary
+  /// function has no content identity to key).
   struct Entry {
-    rendezvous::Outcome outcome;    ///< kRendezvous payload
-    SearchOutcome search_outcome;   ///< kSearch payload
-    GatherOutcome gather_outcome;   ///< kGather payload
+    rendezvous::Outcome outcome;      ///< kRendezvous payload
+    SearchOutcome search_outcome;     ///< kSearch payload
+    GatherOutcome gather_outcome;     ///< kGather payload
+    LinearOutcome linear_outcome;     ///< kLinear payload
+    CoverageOutcome coverage_outcome; ///< kCoverage payload
   };
 
   /// Copies the entry stored under `key` into `*out`; false if absent.
@@ -102,21 +113,9 @@ struct RunnerOptions {
   ScenarioCache* cache = nullptr;
 };
 
-/// One executed work item: what ran and what happened.  Only the
-/// payload pair matching `family` is meaningful.
-struct RunRecord {
-  Family family = Family::kRendezvous;
-  std::string label;
-  // kRendezvous payload
-  rendezvous::Scenario scenario;
-  rendezvous::Outcome outcome;
-  // kSearch payload
-  SearchCell search;
-  SearchOutcome search_outcome;
-  // kGather payload
-  GatherCell gather;
-  GatherOutcome gather_outcome;
-};
+// RunRecord — one executed work item — lives in engine/families.hpp
+// (next to the cells and outcomes it aggregates, where component-times
+// hooks can see it).
 
 /// A derived column: name plus a per-record formatter.
 struct Column {
@@ -142,7 +141,8 @@ class ResultSet {
   }
 
   /// True iff every record succeeded: rendezvous met, search ring
-  /// complete, fleet gathered (per the record's family).
+  /// complete, fleet gathered, linear cell met, coverage cell reached
+  /// 99% (per the record's family).
   [[nodiscard]] bool all_met() const;
 
   /// Cache hit/miss counters of the run that produced this set (all
@@ -182,6 +182,11 @@ class ResultSet {
   /// The single family of the records; \throws std::logic_error when
   /// mixed (emission is per family).
   [[nodiscard]] Family emission_family() const;
+
+  /// The component-column names shared by every record (empty when no
+  /// record carries components); \throws std::logic_error when records
+  /// disagree on names (emission needs one homogeneous schema).
+  [[nodiscard]] std::vector<std::string> component_names() const;
 
   std::vector<RunRecord> records_;
   bool any_label_ = false;

@@ -5,9 +5,55 @@
 
 namespace rv::engine {
 
-ScenarioSet& ScenarioSet::add(rendezvous::Scenario scenario,
-                              std::string label) {
-  explicit_.push_back({std::move(scenario), std::move(label)});
+namespace {
+
+/// Lifts a typed per-family component hook onto the generic
+/// record-level hook the work items carry.
+ComponentsFn wrap(RendezvousComponentsFn fn) {
+  if (!fn) return nullptr;
+  return [fn = std::move(fn)](const RunRecord& rec) {
+    return fn(rec.scenario, rec.outcome);
+  };
+}
+
+ComponentsFn wrap(SearchComponentsFn fn) {
+  if (!fn) return nullptr;
+  return [fn = std::move(fn)](const RunRecord& rec) {
+    return fn(rec.search, rec.search_outcome);
+  };
+}
+
+ComponentsFn wrap(GatherComponentsFn fn) {
+  if (!fn) return nullptr;
+  return [fn = std::move(fn)](const RunRecord& rec) {
+    return fn(rec.gather, rec.gather_outcome);
+  };
+}
+
+ComponentsFn wrap(LinearComponentsFn fn) {
+  if (!fn) return nullptr;
+  return [fn = std::move(fn)](const RunRecord& rec) {
+    return fn(rec.linear, rec.linear_outcome);
+  };
+}
+
+ComponentsFn wrap(CoverageComponentsFn fn) {
+  if (!fn) return nullptr;
+  return [fn = std::move(fn)](const RunRecord& rec) {
+    return fn(rec.coverage, rec.coverage_outcome);
+  };
+}
+
+}  // namespace
+
+ScenarioSet& ScenarioSet::add(rendezvous::Scenario scenario, std::string label,
+                              RendezvousComponentsFn components) {
+  WorkItem item;
+  item.family = Family::kRendezvous;
+  item.label = std::move(label);
+  item.scenario = std::move(scenario);
+  item.components = wrap(std::move(components));
+  explicit_.push_back(std::move(item));
   return *this;
 }
 
@@ -86,11 +132,18 @@ ScenarioSet& ScenarioSet::label(
   return *this;
 }
 
-ScenarioSet& ScenarioSet::add_search(SearchCell cell, std::string label) {
+ScenarioSet& ScenarioSet::components(RendezvousComponentsFn fn) {
+  components_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::add_search(SearchCell cell, std::string label,
+                                     SearchComponentsFn components) {
   WorkItem item;
   item.family = Family::kSearch;
   item.label = std::move(label);
   item.search = std::move(cell);
+  item.components = wrap(std::move(components));
   explicit_search_.push_back(std::move(item));
   return *this;
 }
@@ -136,11 +189,18 @@ ScenarioSet& ScenarioSet::search_label(
   return *this;
 }
 
-ScenarioSet& ScenarioSet::add_gather(GatherCell cell, std::string label) {
+ScenarioSet& ScenarioSet::search_components(SearchComponentsFn fn) {
+  search_components_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::add_gather(GatherCell cell, std::string label,
+                                     GatherComponentsFn components) {
   WorkItem item;
   item.family = Family::kGather;
   item.label = std::move(label);
   item.gather = std::move(cell);
+  item.components = wrap(std::move(components));
   explicit_gather_.push_back(std::move(item));
   return *this;
 }
@@ -167,11 +227,138 @@ ScenarioSet& ScenarioSet::gather_label(
   return *this;
 }
 
+ScenarioSet& ScenarioSet::gather_components(GatherComponentsFn fn) {
+  gather_components_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::add_linear(LinearCell cell, std::string label,
+                                     LinearComponentsFn components) {
+  WorkItem item;
+  item.family = Family::kLinear;
+  item.label = std::move(label);
+  item.linear = std::move(cell);
+  item.components = wrap(std::move(components));
+  explicit_linear_.push_back(std::move(item));
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::linear_base(LinearCell base_cell) {
+  linear_base_ = std::move(base_cell);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::linear_distances(std::vector<double> values) {
+  linear_distances_ = std::move(values);
+  has_linear_grid_ = true;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::linear_radii(std::vector<double> values) {
+  linear_radii_ = std::move(values);
+  has_linear_grid_ = true;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::linear_horizon(
+    std::function<double(const LinearCell&)> fn) {
+  linear_horizon_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::linear_filter(
+    std::function<bool(const LinearCell&)> fn) {
+  linear_keep_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::linear_label(
+    std::function<std::string(const LinearCell&)> fn) {
+  linear_label_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::linear_components(LinearComponentsFn fn) {
+  linear_components_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::add_coverage(CoverageCell cell, std::string label,
+                                       CoverageComponentsFn components) {
+  WorkItem item;
+  item.family = Family::kCoverage;
+  item.label = std::move(label);
+  item.coverage = std::move(cell);
+  item.components = wrap(std::move(components));
+  explicit_coverage_.push_back(std::move(item));
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::coverage_base(CoverageCell base_cell) {
+  coverage_base_ = std::move(base_cell);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::coverage_programs(
+    std::vector<SearchProgram> values) {
+  coverage_programs_ = std::move(values);
+  has_coverage_grid_ = true;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::coverage_disk_radii(std::vector<double> values) {
+  coverage_disk_radii_ = std::move(values);
+  has_coverage_grid_ = true;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::coverage_radii(std::vector<double> values) {
+  coverage_radii_ = std::move(values);
+  has_coverage_grid_ = true;
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::coverage_horizon(
+    std::function<double(const CoverageCell&)> fn) {
+  coverage_horizon_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::coverage_filter(
+    std::function<bool(const CoverageCell&)> fn) {
+  coverage_keep_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::coverage_label(
+    std::function<std::string(const CoverageCell&)> fn) {
+  coverage_label_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::coverage_components(CoverageComponentsFn fn) {
+  coverage_components_fn_ = std::move(fn);
+  return *this;
+}
+
+ScenarioSet& ScenarioSet::components_only(bool on) {
+  components_only_ = on;
+  return *this;
+}
+
 std::vector<WorkItem> ScenarioSet::materialize_work() const {
   std::vector<WorkItem> out;
 
+  // Set-level typed hooks, lifted once; per-cell hooks win.
+  const ComponentsFn set_components = wrap(components_fn_);
+  const ComponentsFn set_search_components = wrap(search_components_fn_);
+  const ComponentsFn set_gather_components = wrap(gather_components_fn_);
+  const ComponentsFn set_linear_components = wrap(linear_components_fn_);
+  const ComponentsFn set_coverage_components = wrap(coverage_components_fn_);
+
   // ---- 1. rendezvous: explicit adds, then the attribute grid ----------
-  auto emit = [&](rendezvous::Scenario s, std::string label) {
+  auto emit = [&](rendezvous::Scenario s, std::string label,
+                  const ComponentsFn& components) {
     // Filter first: horizon rules (e.g. theorem bounds) need not be
     // well defined on dropped cells such as infeasible corners.
     if (keep_fn_ && !keep_fn_(s)) return;
@@ -181,10 +368,14 @@ std::vector<WorkItem> ScenarioSet::materialize_work() const {
     item.family = Family::kRendezvous;
     item.label = std::move(label);
     item.scenario = std::move(s);
+    item.components = components ? components : set_components;
+    item.components_only = components_only_;
     out.push_back(std::move(item));
   };
 
-  for (const LabeledScenario& ls : explicit_) emit(ls.scenario, ls.label);
+  for (const WorkItem& it : explicit_) {
+    emit(it.scenario, it.label, it.components);
+  }
 
   if (has_grid_) {
     // Unset axes contribute the base value, so the nesting below always
@@ -214,7 +405,7 @@ std::vector<WorkItem> ScenarioSet::materialize_work() const {
               s.attrs.orientation = phi;
               s.attrs.chirality = chi;
               s.offset = off;
-              emit(std::move(s), "");
+              emit(std::move(s), "", nullptr);
             }
           }
         }
@@ -223,7 +414,8 @@ std::vector<WorkItem> ScenarioSet::materialize_work() const {
   }
 
   // ---- 2. search: explicit adds, then distances ⊃ radii ⊃ programs ----
-  auto emit_search = [&](SearchCell cell, std::string label) {
+  auto emit_search = [&](SearchCell cell, std::string label,
+                         const ComponentsFn& components) {
     if (search_keep_fn_ && !search_keep_fn_(cell)) return;
     if (search_horizon_fn_) cell.max_time = search_horizon_fn_(cell);
     if (label.empty() && search_label_fn_) label = search_label_fn_(cell);
@@ -231,11 +423,13 @@ std::vector<WorkItem> ScenarioSet::materialize_work() const {
     item.family = Family::kSearch;
     item.label = std::move(label);
     item.search = std::move(cell);
+    item.components = components ? components : set_search_components;
+    item.components_only = components_only_;
     out.push_back(std::move(item));
   };
 
   for (const WorkItem& item : explicit_search_) {
-    emit_search(item.search, item.label);
+    emit_search(item.search, item.label, item.components);
   }
 
   if (has_search_grid_) {
@@ -256,24 +450,27 @@ std::vector<WorkItem> ScenarioSet::materialize_work() const {
           cell.distance = d;
           cell.visibility = r;
           cell.program = prog;
-          emit_search(std::move(cell), "");
+          emit_search(std::move(cell), "", nullptr);
         }
       }
     }
   }
 
   // ---- 3. gather: explicit adds, then the fleet-size grid -------------
-  auto emit_gather = [&](GatherCell cell, std::string label) {
+  auto emit_gather = [&](GatherCell cell, std::string label,
+                         const ComponentsFn& components) {
     if (label.empty() && gather_label_fn_) label = gather_label_fn_(cell);
     WorkItem item;
     item.family = Family::kGather;
     item.label = std::move(label);
     item.gather = std::move(cell);
+    item.components = components ? components : set_gather_components;
+    item.components_only = components_only_;
     out.push_back(std::move(item));
   };
 
   for (const WorkItem& item : explicit_gather_) {
-    emit_gather(item.gather, item.label);
+    emit_gather(item.gather, item.label, item.components);
   }
 
   for (const int n : gather_sizes_) {
@@ -286,7 +483,88 @@ std::vector<WorkItem> ScenarioSet::materialize_work() const {
                      : std::vector<geom::RobotAttributes>(
                            static_cast<std::size_t>(n),
                            geom::reference_attributes());
-    emit_gather(std::move(cell), "");
+    emit_gather(std::move(cell), "", nullptr);
+  }
+
+  // ---- 4. linear: explicit adds, then distances ⊃ radii ---------------
+  auto emit_linear = [&](LinearCell cell, std::string label,
+                         const ComponentsFn& components) {
+    if (linear_keep_fn_ && !linear_keep_fn_(cell)) return;
+    if (linear_horizon_fn_) cell.max_time = linear_horizon_fn_(cell);
+    if (label.empty() && linear_label_fn_) label = linear_label_fn_(cell);
+    WorkItem item;
+    item.family = Family::kLinear;
+    item.label = std::move(label);
+    item.linear = std::move(cell);
+    item.components = components ? components : set_linear_components;
+    item.components_only = components_only_;
+    out.push_back(std::move(item));
+  };
+
+  for (const WorkItem& item : explicit_linear_) {
+    emit_linear(item.linear, item.label, item.components);
+  }
+
+  if (has_linear_grid_) {
+    const std::vector<double> ds =
+        linear_distances_.empty() ? std::vector<double>{linear_base_.target}
+                                  : linear_distances_;
+    const std::vector<double> rs =
+        linear_radii_.empty() ? std::vector<double>{linear_base_.visibility}
+                              : linear_radii_;
+    for (const double d : ds) {
+      for (const double r : rs) {
+        LinearCell cell = linear_base_;
+        cell.target = d;
+        cell.visibility = r;
+        emit_linear(std::move(cell), "", nullptr);
+      }
+    }
+  }
+
+  // ---- 5. coverage: explicit adds, then programs ⊃ R ⊃ r --------------
+  auto emit_coverage = [&](CoverageCell cell, std::string label,
+                           const ComponentsFn& components) {
+    if (coverage_keep_fn_ && !coverage_keep_fn_(cell)) return;
+    if (coverage_horizon_fn_) cell.horizon = coverage_horizon_fn_(cell);
+    if (label.empty() && coverage_label_fn_) label = coverage_label_fn_(cell);
+    WorkItem item;
+    item.family = Family::kCoverage;
+    item.label = std::move(label);
+    item.coverage = std::move(cell);
+    item.components = components ? components : set_coverage_components;
+    item.components_only = components_only_;
+    out.push_back(std::move(item));
+  };
+
+  for (const WorkItem& item : explicit_coverage_) {
+    emit_coverage(item.coverage, item.label, item.components);
+  }
+
+  if (has_coverage_grid_) {
+    const std::vector<SearchProgram> progs =
+        coverage_programs_.empty()
+            ? std::vector<SearchProgram>{coverage_base_.program}
+            : coverage_programs_;
+    const std::vector<double> radii =
+        coverage_disk_radii_.empty()
+            ? std::vector<double>{coverage_base_.disk_radius}
+            : coverage_disk_radii_;
+    const std::vector<double> rs =
+        coverage_radii_.empty()
+            ? std::vector<double>{coverage_base_.visibility}
+            : coverage_radii_;
+    for (const SearchProgram prog : progs) {
+      for (const double radius : radii) {
+        for (const double r : rs) {
+          CoverageCell cell = coverage_base_;
+          cell.program = prog;
+          cell.disk_radius = radius;
+          cell.visibility = r;
+          emit_coverage(std::move(cell), "", nullptr);
+        }
+      }
+    }
   }
 
   return out;
@@ -294,9 +572,30 @@ std::vector<WorkItem> ScenarioSet::materialize_work() const {
 
 std::vector<LabeledScenario> ScenarioSet::materialize() const {
   if (!explicit_search_.empty() || has_search_grid_ ||
-      !explicit_gather_.empty() || !gather_sizes_.empty()) {
+      !explicit_gather_.empty() || !gather_sizes_.empty() ||
+      !explicit_linear_.empty() || has_linear_grid_ ||
+      !explicit_coverage_.empty() || has_coverage_grid_) {
     throw std::logic_error(
-        "ScenarioSet::materialize: set declares search/gather cells; use "
+        "ScenarioSet::materialize: set declares search/gather/linear/"
+        "coverage cells; use materialize_work()");
+  }
+  // LabeledScenario cannot carry component hooks or the
+  // components-only flag — refuse rather than silently dropping them
+  // (the WorkItem view preserves both).
+  if (components_only_ || components_fn_) {
+    throw std::logic_error(
+        "ScenarioSet::materialize: set declares component times; use "
+        "materialize_work()");
+  }
+  auto has_per_cell_hook = [](const std::vector<WorkItem>& items) {
+    for (const WorkItem& item : items) {
+      if (item.components) return true;
+    }
+    return false;
+  };
+  if (has_per_cell_hook(explicit_)) {
+    throw std::logic_error(
+        "ScenarioSet::materialize: set declares component times; use "
         "materialize_work()");
   }
   std::vector<WorkItem> work = materialize_work();

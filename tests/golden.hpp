@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file golden.hpp
+/// Byte-identical golden-output harness.
+///
+/// A golden test renders something deterministic (a `ResultSet` CSV/
+/// JSON/table, a bench binary's stdout, a CSV artifact) and compares it
+/// **byte for byte** against a file committed under `tests/golden/`.
+/// On mismatch the failure message pinpoints the first differing line
+/// and the full actual output is written next to the build as
+/// `<name>.actual` (slashes flattened) for inspection.
+///
+/// Regenerating pins after an intentional output change:
+///
+///     RV_UPDATE_GOLDEN=1 ctest -L golden
+///
+/// rewrites every golden file from the current outputs (then review the
+/// diff with `git diff tests/golden/`).  A missing golden file is a
+/// test failure with the same hint, so brand-new pins go through the
+/// same path.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rv::golden {
+
+/// Root of the committed golden files (tests/golden in the source
+/// tree; the build passes it as RV_GOLDEN_DIR).
+inline std::filesystem::path dir() {
+#ifdef RV_GOLDEN_DIR
+  return std::filesystem::path(RV_GOLDEN_DIR);
+#else
+  return std::filesystem::path("tests") / "golden";
+#endif
+}
+
+/// True when the run should rewrite golden files instead of comparing
+/// (RV_UPDATE_GOLDEN set to anything but "" or "0").
+inline bool update_requested() {
+  const char* env = std::getenv("RV_UPDATE_GOLDEN");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+/// Whole file as bytes; nullopt when it does not exist.
+inline std::optional<std::string> read_file(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Writes bytes, creating parent directories.
+inline void write_file(const std::filesystem::path& path,
+                       const std::string& content) {
+  if (!path.parent_path().empty()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+/// Human-oriented first-difference report between two byte strings.
+inline std::string describe_difference(const std::string& expected,
+                                       const std::string& actual) {
+  std::istringstream want(expected), got(actual);
+  std::string want_line, got_line;
+  std::size_t line = 0;
+  while (true) {
+    const bool have_want = static_cast<bool>(std::getline(want, want_line));
+    const bool have_got = static_cast<bool>(std::getline(got, got_line));
+    ++line;
+    if (!have_want && !have_got) break;  // differ only in trailing bytes
+    if (!have_want || !have_got || want_line != got_line) {
+      std::ostringstream os;
+      os << "first difference at line " << line << ":\n  expected: "
+         << (have_want ? want_line : std::string("<end of file>"))
+         << "\n  actual:   "
+         << (have_got ? got_line : std::string("<end of file>"));
+      return os.str();
+    }
+  }
+  return "contents differ only in trailing bytes (sizes " +
+         std::to_string(expected.size()) + " vs " +
+         std::to_string(actual.size()) + ")";
+}
+
+/// Compares `actual` against the golden file `name` (a path relative
+/// to `dir()`, e.g. "engine/linear_cells.csv").  In update mode the
+/// file is rewritten instead and the test passes.
+inline void compare(const std::string& actual, const std::string& name) {
+  const std::filesystem::path path = dir() / name;
+  if (update_requested()) {
+    write_file(path, actual);
+    return;
+  }
+  const std::optional<std::string> expected = read_file(path);
+  if (!expected.has_value()) {
+    ADD_FAILURE() << "missing golden file " << path
+                  << "\n(create it with: RV_UPDATE_GOLDEN=1 ctest -L golden)";
+    return;
+  }
+  if (*expected == actual) return;
+  // Drop the actual bytes next to the test run for offline diffing.
+  std::string flat = name;
+  for (char& c : flat) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  const std::filesystem::path actual_path = flat + ".actual";
+  write_file(actual_path, actual);
+  ADD_FAILURE() << "golden mismatch for " << path << "\n"
+                << describe_difference(*expected, actual)
+                << "\nexpected " << expected->size() << " bytes, got "
+                << actual.size() << " (actual output saved to "
+                << actual_path << ")\nif the change is intentional, "
+                << "regenerate with RV_UPDATE_GOLDEN=1 ctest -L golden";
+}
+
+}  // namespace rv::golden

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/coverage.hpp"
 #include "engine/contact_sweep.hpp"
 #include "engine/families.hpp"
 #include "engine/runner.hpp"
@@ -24,8 +25,8 @@
 #include "rendezvous/algorithm7.hpp"
 #include "rendezvous/core.hpp"
 #include "rendezvous/variants.hpp"
+#include "search/algorithm4.hpp"
 #include "search/times.hpp"
-#include "search/variants.hpp"
 #include "sim/simulator.hpp"
 #include "traj/path.hpp"
 #include "traj/program.hpp"
@@ -338,53 +339,9 @@ TEST(ContactSweep, Validation) {
                std::invalid_argument);
 }
 
-// ---------------------------------------------------------------------------
-// Regression: run_universal pinned against the pre-refactor simulator
-// ---------------------------------------------------------------------------
-
-// Values captured from the seed implementation (duplicated sweep in
-// sim/simulator.cpp and gather/multi_simulator.cpp) before the engine
-// extraction, with d = 1, r = 0.2, horizon 1e6.  The refactor must be
-// bit-exact: same contact times, same eval/segment counts.
-struct PinnedCase {
-  double v, tau, phi;
-  int chi;
-  bool met;
-  double time;
-  double distance;
-  std::uint64_t evals;
-  std::uint64_t segments;
-};
-
-TEST(RunUniversalRegression, MatchesPreRefactorSimulator) {
-  const std::vector<PinnedCase> pinned{
-      {2.0, 1.0, 0.0, 1, true, 217.8051018300167, 0.20000000095451548, 152,
-       24},
-      {0.5, 1.0, 0.0, -1, true, 252.16635554067315, 0.20000000075467028, 168,
-       46},
-      {1.0, 0.5, 0.0, 1, true, 129.22443558226047, 0.20000000009695895, 58,
-       25},
-      {1.0, 0.75, 0.0, 1, true, 183.09972954242775, 0.20000000084347413, 76,
-       22},
-      {1.0, 1.0, mathx::kPi / 2.0, 1, true, 203.9455240075508,
-       0.20000000059795897, 42, 12},
-      {1.5, 0.6, 2.0, -1, true, 136.52038254201852, 0.20000000043805721, 61,
-       16},
-  };
-  for (const PinnedCase& c : pinned) {
-    RobotAttributes a;
-    a.speed = c.v;
-    a.time_unit = c.tau;
-    a.orientation = c.phi;
-    a.chirality = c.chi;
-    const auto out = rendezvous::run_universal(a, 1.0, 0.2, 1e6);
-    EXPECT_EQ(out.sim.met, c.met) << "v=" << c.v << " tau=" << c.tau;
-    EXPECT_DOUBLE_EQ(out.sim.time, c.time) << "v=" << c.v << " tau=" << c.tau;
-    EXPECT_DOUBLE_EQ(out.sim.distance, c.distance);
-    EXPECT_EQ(out.sim.evals, c.evals) << "v=" << c.v << " tau=" << c.tau;
-    EXPECT_EQ(out.sim.segments, c.segments);
-  }
-}
+// The run_universal seed capture (the pre-refactor simulator pins)
+// lives in tests/test_golden.cpp now, as the full-precision golden
+// file tests/golden/engine/universal_cells.csv.
 
 // ---------------------------------------------------------------------------
 // ScenarioSet
@@ -867,91 +824,10 @@ TEST(Families, ThreadCountDoesNotChangeFamilyEmission) {
   EXPECT_EQ(a.to_table().to_ascii(), b.to_table().to_ascii());
 }
 
-// ---------------------------------------------------------------------------
-// Pinned regressions for the ported benches: the engine declarations
-// must reproduce the values of the pre-port hand-rolled loops
-// (captured from the binaries before the port, 12 significant digits —
-// the precision of their CSV artifacts).
-// ---------------------------------------------------------------------------
-
-TEST(PortedBenches, E1SearchCellsMatchPrePortValues) {
-  engine::SearchCell base;
-  base.angles = 16;
-  base.angle_offset = 0.03;
-  engine::ScenarioSet set;
-  set.search_base(base)
-      .search_distances({1.0})
-      .search_radii({0.5, 0.25})
-      .search_horizon([](const engine::SearchCell& c) {
-        return rv::search::theorem1_bound(c.distance, c.visibility) + 1.0;
-      });
-  const auto results = engine::run_scenarios(set);
-  ASSERT_EQ(results.size(), 2u);
-  ASSERT_TRUE(results.all_met());
-  EXPECT_EQ(io::format_double(results[0].search_outcome.worst_time),
-            "3.46022075239");
-  EXPECT_EQ(io::format_double(results[0].search_outcome.mean_time),
-            "1.98759919609");
-  EXPECT_EQ(io::format_double(results[1].search_outcome.worst_time),
-            "14.5089287754");
-  EXPECT_EQ(io::format_double(results[1].search_outcome.mean_time),
-            "12.2999964408");
-}
-
-TEST(PortedBenches, E9BaselineCellsMatchPrePortValues) {
-  engine::ScenarioSet set;
-  for (const auto prog :
-       {engine::SearchProgram::kAlgorithm4, engine::SearchProgram::kConcentric,
-        engine::SearchProgram::kSquareSpiral}) {
-    engine::SearchCell cell;
-    cell.distance = 2.0;
-    cell.visibility = 0.25;
-    cell.angles = 8;
-    cell.angle_offset = 0.07;
-    cell.program = prog;
-    cell.max_time = 5e6;
-    set.add_search(cell);
-  }
-  const auto results = engine::run_scenarios(set);
-  ASSERT_EQ(results.size(), 3u);
-  ASSERT_TRUE(results.all_met());
-  EXPECT_EQ(io::format_double(results[0].search_outcome.worst_time),
-            "64.6553194102");
-  EXPECT_EQ(io::format_double(results[1].search_outcome.worst_time),
-            "46.6971441406");
-  EXPECT_EQ(io::format_double(results[2].search_outcome.worst_time),
-            "184.443058172");
-  EXPECT_EQ(results[1].search_outcome.program_name, "baseline-concentric");
-  EXPECT_EQ(results[2].search_outcome.program_name, "baseline-square-spiral");
-}
-
-TEST(PortedBenches, X1GatherFleetMatchesPrePortValues) {
-  engine::GatherCell cell;
-  cell.fleet = {RobotAttributes{}, [] {
-                  RobotAttributes a;
-                  a.time_unit = 0.5;
-                  return a;
-                }(),
-                [] {
-                  RobotAttributes a;
-                  a.time_unit = 0.75;
-                  return a;
-                }()};
-  cell.ring_radius = 1.0;
-  cell.visibility = 0.2;
-  cell.contact_max_time = 1e5;
-  cell.gather_max_time = 2e5;
-  engine::ScenarioSet set;
-  set.add_gather(cell, "3 robots, distinct clocks");
-  const auto results = engine::run_scenarios(set);
-  ASSERT_EQ(results.size(), 1u);
-  const engine::GatherOutcome& out = results[0].gather_outcome;
-  ASSERT_TRUE(out.contact.achieved);
-  EXPECT_EQ(io::format_double(out.contact.time), "245.667608938");
-  EXPECT_FALSE(out.gathered.achieved);
-  EXPECT_EQ(io::format_double(out.gathered.min_max_pairwise),
-            "0.833415754334");
-}
+// The ported-bench pins (E1/E9/X1/A1 declarations vs the pre-port
+// hand-rolled loops, and the new linear/coverage/component pins) live
+// in tests/test_golden.cpp on the golden harness, and the full bench
+// binaries are pinned byte-for-byte in tests/test_golden_benches.cpp.
 
 // ---------------------------------------------------------------------------
 // Scenario result cache
@@ -1100,50 +976,433 @@ TEST(ScenarioCache, AnonymousCustomProgramsAreUncacheable) {
   EXPECT_EQ(third.to_csv(), fourth.to_csv());
 }
 
-TEST(PortedBenches, A1VariantScenarioAndA3SpacingMatchPrePortValues) {
-  // A1, tau = 0.5: both active-phase orders meet at the same time.
-  engine::ScenarioSet set;
-  for (const auto order : {rendezvous::ActivePhaseOrder::kForwardThenReverse,
-                           rendezvous::ActivePhaseOrder::kForwardTwice}) {
-    rendezvous::Scenario s;
-    s.attrs.time_unit = 0.5;
-    s.offset = {1.0, 0.0};
-    s.visibility = 0.1;
-    s.max_time = 5e6;
-    s.program = [order] {
-      return rendezvous::make_variant_rendezvous_program(order);
-    };
-    s.program_name = "variant";
-    set.add(s);
-  }
-  const auto a1 = engine::run_scenarios(set);
-  ASSERT_EQ(a1.size(), 2u);
-  ASSERT_TRUE(a1.all_met());
-  EXPECT_EQ(io::format_double(a1[0].outcome.sim.time), "129.324728711");
-  EXPECT_EQ(io::format_double(a1[1].outcome.sim.time), "129.324728711");
+// ---------------------------------------------------------------------------
+// Linear family: 1-D zigzag search and linear rendezvous cells.
+// ---------------------------------------------------------------------------
 
-  // A3, spacing c = 2 (the paper's choice): all 8 angles found.
-  rv::search::VariantOptions vopts;
-  vopts.spacing_factor = 2.0;
+TEST(Families, LinearCellsRunBothModes) {
+  engine::ScenarioSet set;
+  // Zigzag search reaches targets on both sides of the origin.
+  engine::LinearCell search_cell;
+  search_cell.mode = engine::LinearMode::kZigZagSearch;
+  search_cell.target = -3.0;
+  search_cell.visibility = 0.01;
+  search_cell.max_time = 1e3;
+  set.add_linear(search_cell, "left");
+  // Feasible (clock difference) and infeasible (identical robots)
+  // rendezvous cells.
+  engine::LinearCell feasible_cell;
+  feasible_cell.mode = engine::LinearMode::kRendezvous;
+  feasible_cell.attrs.time_unit = 0.5;
+  feasible_cell.visibility = 0.1;
+  feasible_cell.max_time = 1e6;
+  set.add_linear(feasible_cell, "tau");
+  engine::LinearCell identical_cell;
+  identical_cell.mode = engine::LinearMode::kRendezvous;
+  identical_cell.visibility = 0.1;
+  identical_cell.max_time = 1e3;
+  set.add_linear(identical_cell, "identical");
+
+  const auto results = engine::run_scenarios(set);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].family, engine::Family::kLinear);
+  EXPECT_TRUE(results[0].linear_outcome.feasible);
+  EXPECT_TRUE(results[0].linear_outcome.sim.met);
+  EXPECT_TRUE(results[1].linear_outcome.feasible);
+  EXPECT_TRUE(results[1].linear_outcome.sim.met);
+  // Identical robots on the line never meet — the [11] feasibility
+  // predicate and the simulation agree.
+  EXPECT_FALSE(results[2].linear_outcome.feasible);
+  EXPECT_FALSE(results[2].linear_outcome.sim.met);
+  EXPECT_FALSE(results.all_met());
+
+  // Per-family standard columns + strict JSON.
+  const auto header = results.csv_header();
+  EXPECT_EQ(header.front(), "label");
+  EXPECT_EQ(header[1], "mode");
+  std::vector<StrictJson::Row> rows;
+  ASSERT_NO_THROW(rows = StrictJson::parse_rows(results.to_json()));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].at("mode"), "zigzag-search");
+  EXPECT_EQ(rows[1].at("mode"), "linear-rendezvous");
+  EXPECT_EQ(rows[2].at("met"), "false");
+}
+
+TEST(Families, LinearGridMaterializesWithHooks) {
+  engine::LinearCell base;
+  base.mode = engine::LinearMode::kZigZagSearch;
+  engine::ScenarioSet set;
+  set.linear_base(base)
+      .linear_distances({1.0, 2.0, 4.0})
+      .linear_radii({0.1, 0.2})
+      .linear_filter(
+          [](const engine::LinearCell& c) { return c.target != 2.0; })
+      .linear_horizon([](const engine::LinearCell& c) {
+        return 100.0 * c.target;
+      })
+      .linear_label([](const engine::LinearCell& c) {
+        return "d=" + io::format_double(c.target);
+      });
+  const auto work = set.materialize_work();
+  ASSERT_EQ(work.size(), 4u);  // (3 − 1 filtered) distances × 2 radii
+  EXPECT_EQ(work[0].family, engine::Family::kLinear);
+  EXPECT_EQ(work[0].linear.target, 1.0);
+  EXPECT_EQ(work[0].linear.visibility, 0.1);
+  EXPECT_EQ(work[1].linear.visibility, 0.2);
+  EXPECT_EQ(work[0].linear.max_time, 100.0);
+  EXPECT_EQ(work[2].linear.target, 4.0);
+  EXPECT_EQ(work[2].label, "d=4");
+  // The rendezvous-only view refuses linear sets.
+  EXPECT_THROW((void)set.materialize(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Coverage family: rasterised swept-area cells.
+// ---------------------------------------------------------------------------
+
+engine::ScenarioSet small_coverage_grid() {
+  engine::CoverageCell base;
+  base.disk_radius = 1.0;
+  base.visibility = 0.25;
+  base.cell = 0.1;
+  base.checkpoints = 6;
+  base.horizon = 60.0;
+  engine::ScenarioSet set;
+  set.coverage_base(base).coverage_programs(
+      {engine::SearchProgram::kAlgorithm4,
+       engine::SearchProgram::kConcentric});
+  return set;
+}
+
+TEST(Families, CoverageCellsMeasureSweptArea) {
+  const auto results = engine::run_scenarios(small_coverage_grid());
+  ASSERT_EQ(results.size(), 2u);
+  for (const engine::RunRecord& rec : results) {
+    EXPECT_EQ(rec.family, engine::Family::kCoverage);
+    const engine::CoverageOutcome& out = rec.coverage_outcome;
+    ASSERT_EQ(out.series.size(), 6u);
+    // Coverage is monotone in time and the summary fields agree with
+    // the series.
+    for (std::size_t i = 1; i < out.series.size(); ++i) {
+      EXPECT_GE(out.series[i].fraction, out.series[i - 1].fraction);
+      EXPECT_GE(out.series[i].covered_area, out.series[i - 1].covered_area);
+    }
+    EXPECT_EQ(out.final_fraction, out.series.back().fraction);
+    EXPECT_EQ(out.covered_area, out.series.back().covered_area);
+    EXPECT_EQ(out.t50, analysis::time_to_fraction(out.series, 0.50));
+    EXPECT_GT(out.final_fraction, 0.5);  // generous horizon for R = 1
+  }
+  EXPECT_EQ(results[0].coverage_outcome.program_name, "algorithm4");
+  EXPECT_EQ(results[1].coverage_outcome.program_name, "baseline-concentric");
+  // Standard columns + strict JSON.
+  const auto header = results.csv_header();
+  EXPECT_EQ(header.front(), "program");
+  EXPECT_EQ(header.back(), "covered_area");
+  std::vector<StrictJson::Row> rows;
+  ASSERT_NO_THROW(rows = StrictJson::parse_rows(results.to_json()));
+  EXPECT_EQ(rows[0].at("checkpoints"), "6");
+}
+
+TEST(Families, LinearAndCoverageThreadCountDoesNotChangeEmission) {
+  engine::LinearCell base;
+  base.mode = engine::LinearMode::kZigZagSearch;
+  base.visibility = 0.05;
+  base.max_time = 1e3;
+  engine::ScenarioSet set;
+  set.linear_base(base).linear_distances({1.0, 2.0, 3.0}).linear_radii(
+      {0.05, 0.1});
+  engine::ScenarioSet cov = small_coverage_grid();
+
+  engine::RunnerOptions seq;
+  seq.threads = 1;
+  engine::RunnerOptions par;
+  par.threads = 4;
+  for (const engine::ScenarioSet* s : {&set, &cov}) {
+    const auto a = engine::run_scenarios(*s, seq);
+    const auto b = engine::run_scenarios(*s, par);
+    EXPECT_EQ(a.to_csv(), b.to_csv());
+    EXPECT_EQ(a.to_json(), b.to_json());
+    EXPECT_EQ(a.to_table().to_ascii(), b.to_table().to_ascii());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Component-times hook.
+// ---------------------------------------------------------------------------
+
+TEST(Components, HookColumnsEmitAcrossAllFormats) {
   engine::SearchCell cell;
-  cell.distance = 1.5;
-  cell.visibility = 0.05;
-  cell.angles = 8;
-  cell.angle_offset = 0.11;
-  cell.program_factory = [vopts] {
-    return rv::search::make_variant_search_program(vopts);
+  cell.distance = 1.0;
+  cell.visibility = 0.5;
+  cell.angles = 2;
+  cell.angle_offset = 0.03;
+  cell.max_time = 1e4;
+  engine::ScenarioSet set;
+  set.add_search(cell, "hooked")
+      .search_components([](const engine::SearchCell& c,
+                            const engine::SearchOutcome& out) {
+        return engine::Components{{"twice_d", 2.0 * c.distance},
+                                  {"worst_sq", out.worst_time * out.worst_time}};
+      });
+  const auto results = engine::run_scenarios(set);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].components.size(), 2u);
+  EXPECT_EQ(engine::component_value(results[0].components, "twice_d"), 2.0);
+  EXPECT_THROW(
+      (void)engine::component_value(results[0].components, "missing"),
+      std::out_of_range);
+
+  // CSV: component columns sit between the standard columns and extras.
+  const std::vector<engine::Column> extras{
+      {"extra", [](const engine::RunRecord&) { return std::string("x"); }}};
+  const auto header = results.csv_header(extras);
+  ASSERT_GE(header.size(), 3u);
+  EXPECT_EQ(header[header.size() - 3], "twice_d");
+  EXPECT_EQ(header[header.size() - 2], "worst_sq");
+  EXPECT_EQ(header.back(), "extra");
+  const auto rows = results.csv_rows(extras);
+  EXPECT_EQ(rows[0][header.size() - 3], io::format_double(2.0));
+  // JSON: components are numeric fields, strictly parseable.
+  std::vector<StrictJson::Row> json;
+  ASSERT_NO_THROW(json = StrictJson::parse_rows(results.to_json()));
+  EXPECT_EQ(json[0].at("twice_d"), "2");
+  // Table: one column per component.
+  EXPECT_NE(results.to_table().to_ascii().find("worst_sq"), std::string::npos);
+}
+
+TEST(Components, RendezvousOnlyMaterializeRejectsComponentSets) {
+  // LabeledScenario cannot carry hooks or the components-only flag, so
+  // the historical view must refuse instead of silently dropping them.
+  engine::ScenarioSet with_hook;
+  with_hook.add(rendezvous::Scenario{});
+  with_hook.components([](const rendezvous::Scenario&,
+                          const rendezvous::Outcome&) {
+    return engine::Components{{"c", 1.0}};
+  });
+  EXPECT_THROW((void)with_hook.materialize(), std::logic_error);
+  EXPECT_NO_THROW((void)with_hook.materialize_work());
+
+  engine::ScenarioSet algebra;
+  algebra.components_only().add(rendezvous::Scenario{});
+  EXPECT_THROW((void)algebra.materialize(), std::logic_error);
+
+  engine::ScenarioSet per_cell;
+  per_cell.add(rendezvous::Scenario{}, "",
+               [](const rendezvous::Scenario&, const rendezvous::Outcome&) {
+                 return engine::Components{{"c", 1.0}};
+               });
+  EXPECT_THROW((void)per_cell.materialize(), std::logic_error);
+
+  engine::ScenarioSet plain;
+  plain.add(rendezvous::Scenario{});
+  EXPECT_NO_THROW((void)plain.materialize());
+}
+
+TEST(Components, MismatchedSchemasRejectEmission) {
+  engine::SearchCell cell;
+  cell.visibility = 0.5;
+  cell.angles = 1;
+  cell.max_time = 1e4;
+  engine::ScenarioSet set;
+  set.add_search(cell, "a",
+                 [](const engine::SearchCell&, const engine::SearchOutcome&) {
+                   return engine::Components{{"one", 1.0}};
+                 });
+  set.add_search(cell, "b",
+                 [](const engine::SearchCell&, const engine::SearchOutcome&) {
+                   return engine::Components{{"two", 2.0}};
+                 });
+  const auto results = engine::run_scenarios(set);
+  EXPECT_THROW((void)results.to_csv(), std::logic_error);
+  EXPECT_THROW((void)results.to_json(), std::logic_error);
+  EXPECT_THROW((void)results.to_table(), std::logic_error);
+}
+
+TEST(Components, ComponentsOnlySkipsPayloadAndBypassesCache) {
+  engine::ScenarioSet set;
+  set.components_only()
+      .search_distances({1.0, 2.0})
+      .search_components([](const engine::SearchCell& c,
+                            const engine::SearchOutcome&) {
+        return engine::Components{{"d3", 3.0 * c.distance}};
+      });
+  engine::ScenarioCache cache;
+  engine::RunnerOptions opts;
+  opts.cache = &cache;
+  const auto results = engine::run_scenarios(set, opts);
+  ASSERT_EQ(results.size(), 2u);
+  for (const engine::RunRecord& rec : results) {
+    // No payload ran: the outcome is untouched.
+    EXPECT_EQ(rec.search_outcome.evals, 0u);
+    EXPECT_EQ(rec.search_outcome.found, 0);
+    EXPECT_TRUE(rec.search_outcome.program_name.empty());
+  }
+  EXPECT_EQ(engine::component_value(results[1].components, "d3"), 6.0);
+  // Components-only items have no content key: never stored, counted
+  // as uncacheable.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(results.cache_stats().uncacheable, 2u);
+  EXPECT_EQ(results.cache_stats().hits, 0u);
+  EXPECT_EQ(results.cache_stats().misses, 0u);
+}
+
+TEST(Components, PerCellHookOverridesSetHookAndSurvivesCacheReplay) {
+  auto declare = [] {
+    engine::SearchCell cell;
+    cell.visibility = 0.5;
+    cell.angles = 1;
+    cell.angle_offset = 0.03;
+    cell.max_time = 1e4;
+    engine::ScenarioSet set;
+    set.search_components([](const engine::SearchCell&,
+                             const engine::SearchOutcome&) {
+      return engine::Components{{"which", 1.0}};
+    });
+    set.add_search(cell, "set-hook");
+    set.add_search(cell, "own-hook",
+                   [](const engine::SearchCell&,
+                      const engine::SearchOutcome& out) {
+                     return engine::Components{
+                         {"which", 2.0},
+                         {"t", out.worst_time}};
+                   });
+    return set;
   };
-  cell.program_name = "algorithm4-spacing";
-  cell.max_time = 4.0 * rv::search::time_first_rounds(
-                            rv::search::guaranteed_round(1.5, 0.05));
-  engine::ScenarioSet a3set;
-  a3set.add_search(cell);
-  const auto a3 = engine::run_scenarios(a3set);
-  ASSERT_EQ(a3.size(), 1u);
-  EXPECT_EQ(a3[0].search_outcome.found, 8);
-  EXPECT_EQ(a3[0].search_outcome.missed, 0);
-  EXPECT_EQ(io::format_double(a3[0].search_outcome.worst_time),
-            "49.2068086096");
+  engine::ScenarioCache cache;
+  engine::RunnerOptions opts;
+  opts.cache = &cache;
+  opts.threads = 1;
+  const auto first = engine::run_scenarios(declare(), opts);
+  // Identical cell content: one miss, one hit — but each record keeps
+  // its own hook's components (hooks are re-evaluated, never cached).
+  EXPECT_EQ(first.cache_stats().misses, 1u);
+  EXPECT_EQ(first.cache_stats().hits, 1u);
+  EXPECT_EQ(engine::component_value(first[0].components, "which"), 1.0);
+  EXPECT_EQ(engine::component_value(first[1].components, "which"), 2.0);
+  ASSERT_EQ(first[1].components.size(), 2u);
+  // The replayed outcome feeds the hook the same values as a computed
+  // one: worst_time of the hit matches the miss's.
+  EXPECT_EQ(engine::component_value(first[1].components, "t"),
+            first[0].search_outcome.worst_time);
+  const auto replay = engine::run_scenarios(declare(), opts);
+  EXPECT_EQ(replay.cache_stats().hits, 2u);
+  EXPECT_EQ(engine::component_value(replay[1].components, "t"),
+            engine::component_value(first[1].components, "t"));
+}
+
+// ---------------------------------------------------------------------------
+// Cache behaviour of the new families.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioCache, LinearAndCoverageCellsReplayByteIdentical) {
+  auto declare_linear = [] {
+    engine::LinearCell base;
+    base.mode = engine::LinearMode::kRendezvous;
+    base.attrs.time_unit = 0.5;
+    base.visibility = 0.2;
+    base.max_time = 1e5;
+    engine::ScenarioSet set;
+    set.linear_base(base).linear_distances({1.0, 1.0, 2.0});  // duplicate cell
+    return set;
+  };
+  engine::ScenarioCache cache;
+  engine::RunnerOptions opts;
+  opts.cache = &cache;
+  opts.threads = 1;
+  const auto plain = engine::run_scenarios(declare_linear());
+  const auto cached = engine::run_scenarios(declare_linear(), opts);
+  EXPECT_EQ(cached.cache_stats().misses, 2u);
+  EXPECT_EQ(cached.cache_stats().hits, 1u);
+  EXPECT_EQ(plain.to_csv(), cached.to_csv());
+  EXPECT_EQ(plain.to_json(), cached.to_json());
+  const auto replay = engine::run_scenarios(declare_linear(), opts);
+  EXPECT_EQ(replay.cache_stats().hits, 3u);
+  EXPECT_EQ(replay.cache_stats().misses, 0u);
+  EXPECT_EQ(plain.to_csv(), replay.to_csv());
+
+  auto declare_coverage = [] {
+    auto set = small_coverage_grid();
+    engine::CoverageCell dup;
+    dup.disk_radius = 1.0;
+    dup.visibility = 0.25;
+    dup.cell = 0.1;
+    dup.checkpoints = 6;
+    dup.horizon = 60.0;
+    set.add_coverage(dup, "explicit twin");  // = the grid's algorithm4 cell
+    return set;
+  };
+  engine::ScenarioCache ccache;
+  engine::RunnerOptions copts;
+  copts.cache = &ccache;
+  copts.threads = 1;
+  const auto cplain = engine::run_scenarios(declare_coverage());
+  const auto ccached = engine::run_scenarios(declare_coverage(), copts);
+  EXPECT_EQ(ccached.cache_stats().hits + ccached.cache_stats().misses, 3u);
+  EXPECT_GE(ccached.cache_stats().hits, 1u);
+  EXPECT_EQ(cplain.to_csv(), ccached.to_csv());
+  EXPECT_EQ(cplain.to_json(), ccached.to_json());
+  // The replayed series is the computed series, checkpoint for
+  // checkpoint.
+  ASSERT_EQ(ccached[0].coverage_outcome.series.size(),
+            cplain[0].coverage_outcome.series.size());
+  // Anonymous coverage factories are uncacheable, like search ones.
+  engine::CoverageCell anon;
+  anon.disk_radius = 1.0;
+  anon.visibility = 0.25;
+  anon.cell = 0.1;
+  anon.checkpoints = 2;
+  anon.horizon = 10.0;
+  anon.program_factory = [] { return rv::search::make_search_program(); };
+  engine::WorkItem item;
+  item.family = engine::Family::kCoverage;
+  item.coverage = anon;
+  EXPECT_FALSE(engine::cache_key(item).has_value());
+  item.coverage.program_name = "named";
+  EXPECT_TRUE(engine::cache_key(item).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Empty result sets: filtered()/cache_stats()/emission must return
+// empty/zeroed values, never throw or read uninitialized state.
+// ---------------------------------------------------------------------------
+
+TEST(ResultSet, EmptySetIsWellBehaved) {
+  const engine::ResultSet empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.all_met());  // vacuously
+  // cache_stats: all-zero counters, not garbage.
+  EXPECT_EQ(empty.cache_stats().hits, 0u);
+  EXPECT_EQ(empty.cache_stats().misses, 0u);
+  EXPECT_EQ(empty.cache_stats().uncacheable, 0u);
+  // filtered: empty in, empty out, for every family.
+  for (const auto family :
+       {engine::Family::kRendezvous, engine::Family::kSearch,
+        engine::Family::kGather, engine::Family::kLinear,
+        engine::Family::kCoverage}) {
+    const auto view = empty.filtered(family);
+    EXPECT_TRUE(view.empty());
+    EXPECT_EQ(view.cache_stats().hits, 0u);
+  }
+  // Emission: header-only CSV, empty-but-valid JSON array, empty table.
+  EXPECT_EQ(io::parse_csv(empty.to_csv()).size(), 1u);
+  std::vector<StrictJson::Row> rows;
+  ASSERT_NO_THROW(rows = StrictJson::parse_rows(empty.to_json()));
+  EXPECT_TRUE(rows.empty());
+  EXPECT_NO_THROW((void)empty.to_table().to_ascii());
+
+  // A filtered() miss on a non-empty set behaves the same way.
+  engine::ScenarioSet set;
+  engine::SearchCell cell;
+  cell.visibility = 0.5;
+  cell.angles = 1;
+  cell.max_time = 1e4;
+  set.add_search(cell);
+  const auto results = engine::run_scenarios(set);
+  const auto none = results.filtered(engine::Family::kCoverage);
+  EXPECT_TRUE(none.empty());
+  EXPECT_NO_THROW((void)none.to_csv());
+  EXPECT_EQ(none.cache_stats().hits, results.cache_stats().hits);
 }
 
 }  // namespace

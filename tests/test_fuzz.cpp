@@ -1,18 +1,27 @@
 // Randomised differential tests ("fuzz"): the certified Lipschitz
 // sweep of the simulator is cross-checked against an independent
 // dense-sampling + Brent oracle on randomly generated piecewise
-// trajectories, and the frame map is cross-checked against direct
-// matrix evaluation on random programs.  Any disagreement is a bug in
-// one of the two independent implementations.
+// trajectories, the frame map is cross-checked against direct matrix
+// evaluation on random programs, and the scenario-cache content key is
+// cross-checked against an independent canonical dump of the keyed
+// fields.  Any disagreement is a bug in one of the two independent
+// implementations.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "engine/families.hpp"
 #include "mathx/constants.hpp"
 #include "mathx/rng.hpp"
 #include "mathx/roots.hpp"
+#include "search/algorithm4.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "traj/path.hpp"
@@ -168,6 +177,302 @@ TEST(FuzzFrameMap, RandomProgramsSatisfyLemma4Identity) {
           << "trial " << trial << " t=" << t;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// engine::cache_key fuzz: distinct cells must never share a key, keys
+// must be deterministic, and the documented equivalences (−0.0 = +0.0,
+// labels not keyed) must hold.  The oracle is an independent canonical
+// dump of every keyed field (explicit field names, hexfloat doubles,
+// length-framed strings) — if two semantically different items ever
+// produce the same key, the dump comparison catches it.
+// ---------------------------------------------------------------------------
+
+std::string dump_f64(double v) {
+  v += 0.0;  // mirror the key's −0.0 normalisation (the only doubles
+             // that compare equal with distinct bit patterns)
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+std::string dump_str(const std::string& s) {
+  return std::to_string(s.size()) + ":" + s;
+}
+
+std::string dump_attrs(const rv::geom::RobotAttributes& a) {
+  return dump_f64(a.speed) + "," + dump_f64(a.time_unit) + "," +
+         dump_f64(a.orientation) + "," + std::to_string(a.chirality);
+}
+
+std::string dump_vec(const rv::geom::Vec2& v) {
+  return dump_f64(v.x) + "," + dump_f64(v.y);
+}
+
+/// Canonical representation of every field `cache_key` documents as
+/// keyed.  Independent of the key encoding: field names + unambiguous
+/// per-field framing.
+std::string dump_item(const rv::engine::WorkItem& item) {
+  using rv::engine::Family;
+  std::string out = std::string("family=") +
+                    rv::engine::family_name(item.family) + ";";
+  switch (item.family) {
+    case Family::kRendezvous: {
+      const auto& s = item.scenario;
+      // A custom program overrides the algorithm enum entirely, so the
+      // enum is not part of the cell's semantics (and rightly unkeyed).
+      out += s.program
+                 ? "prog=custom;name=" + dump_str(s.program_name)
+                 : "prog=builtin;algo=" +
+                       std::to_string(static_cast<int>(s.algorithm));
+      out += ";attrs=" + dump_attrs(s.attrs) + ";off=" + dump_vec(s.offset) +
+             ";r=" + dump_f64(s.visibility) + ";T=" + dump_f64(s.max_time);
+      break;
+    }
+    case Family::kSearch: {
+      const auto& c = item.search;
+      out += c.program_factory
+                 ? "prog=custom"
+                 : "prog=builtin;algo=" +
+                       std::to_string(static_cast<int>(c.program));
+      // The name is semantic even without a factory: run_search_cell
+      // echoes it into the reported outcome.
+      out += ";name=" + dump_str(c.program_name) +
+             ";d=" + dump_f64(c.distance) + ";r=" + dump_f64(c.visibility) +
+             ";angles=" + std::to_string(c.angles) +
+             ";phase=" + dump_f64(c.angle_offset) + ";targets=";
+      for (const auto& t : c.targets) out += dump_vec(t) + "|";
+      out += ";attrs=" + dump_attrs(c.attrs) + ";T=" + dump_f64(c.max_time);
+      break;
+    }
+    case Family::kGather: {
+      const auto& c = item.gather;
+      out += "algo=" + std::to_string(static_cast<int>(c.algorithm)) +
+             ";fleet=";
+      for (const auto& a : c.fleet) out += dump_attrs(a) + "|";
+      out += ";ring=" + dump_f64(c.ring_radius) +
+             ";phase=" + dump_f64(c.ring_phase) + ";jitter=";
+      for (const auto& j : c.jitter) out += dump_vec(j) + "|";
+      out += ";r=" + dump_f64(c.visibility) +
+             ";Tc=" + dump_f64(c.contact_max_time) +
+             ";Tg=" + dump_f64(c.gather_max_time);
+      break;
+    }
+    case Family::kLinear: {
+      const auto& c = item.linear;
+      out += "mode=" + std::to_string(static_cast<int>(c.mode)) +
+             ";v=" + dump_f64(c.attrs.speed) +
+             ";tau=" + dump_f64(c.attrs.time_unit) +
+             ";dir=" + std::to_string(c.attrs.direction) +
+             ";x=" + dump_f64(c.target) + ";r=" + dump_f64(c.visibility) +
+             ";T=" + dump_f64(c.max_time);
+      break;
+    }
+    case Family::kCoverage: {
+      const auto& c = item.coverage;
+      out += c.program_factory
+                 ? "prog=custom"
+                 : "prog=builtin;algo=" +
+                       std::to_string(static_cast<int>(c.program));
+      out += ";name=" + dump_str(c.program_name) +
+             ";attrs=" + dump_attrs(c.attrs) + ";R=" + dump_f64(c.disk_radius) +
+             ";r=" + dump_f64(c.visibility) + ";cell=" + dump_f64(c.cell) +
+             ";cp=" + std::to_string(c.checkpoints) +
+             ";T=" + dump_f64(c.horizon);
+      break;
+    }
+  }
+  return out;
+}
+
+/// Random work item with fields drawn from adversarial pools: values
+/// whose raw-byte encodings could collide across field boundaries if
+/// the key format were ambiguous (short/empty hostile strings with
+/// separators, control chars and embedded NULs; ±0.0; counts 0–3).
+rv::engine::WorkItem random_item(Xoshiro256& rng) {
+  using namespace rv;
+  static const std::vector<double> doubles{
+      0.0,    -0.0, 1.0,  2.0,   0.5,
+      0.125,  1e-3, 1e6,  -1.0,  3.5};
+  static const std::vector<std::string> strings{
+      "",         "a",         "ab",          "c",
+      "a\x01b",   "\x01",      "name,1",      std::string("x\0y", 3),
+      "aa",       "ca",        {'\x04', 'a'}, "zigzag"};
+  auto d = [&] { return doubles[static_cast<std::size_t>(
+                     rng.uniform_int(0, static_cast<int>(doubles.size()) - 1))]; };
+  auto s = [&] { return strings[static_cast<std::size_t>(
+                     rng.uniform_int(0, static_cast<int>(strings.size()) - 1))]; };
+  auto attrs = [&] {
+    geom::RobotAttributes a;
+    a.speed = d();
+    a.time_unit = d();
+    a.orientation = d();
+    a.chirality = rng.sign();
+    return a;
+  };
+  const auto factory = [] { return search::make_search_program(); };
+
+  engine::WorkItem item;
+  item.label = s();  // labels are NOT keyed; randomised to prove it
+  switch (rng.uniform_int(0, 4)) {
+    case 0: {
+      item.family = engine::Family::kRendezvous;
+      auto& sc = item.scenario;
+      if (rng.uniform_int(0, 1) == 1) sc.program = factory;
+      sc.program_name = s();
+      sc.algorithm = rng.uniform_int(0, 1) == 0
+                         ? rendezvous::AlgorithmChoice::kAlgorithm4
+                         : rendezvous::AlgorithmChoice::kAlgorithm7;
+      sc.attrs = attrs();
+      sc.offset = {d(), d()};
+      sc.visibility = d();
+      sc.max_time = d();
+      break;
+    }
+    case 1: {
+      item.family = engine::Family::kSearch;
+      auto& c = item.search;
+      if (rng.uniform_int(0, 1) == 1) c.program_factory = factory;
+      c.program_name = s();
+      c.program = static_cast<engine::SearchProgram>(rng.uniform_int(0, 2));
+      c.distance = d();
+      c.visibility = d();
+      c.angles = rng.uniform_int(1, 3);
+      c.angle_offset = d();
+      for (int i = rng.uniform_int(0, 3); i > 0; --i) {
+        c.targets.push_back({d(), d()});
+      }
+      c.attrs = attrs();
+      c.max_time = d();
+      break;
+    }
+    case 2: {
+      item.family = engine::Family::kGather;
+      auto& c = item.gather;
+      c.algorithm = rng.uniform_int(0, 1) == 0
+                        ? rendezvous::AlgorithmChoice::kAlgorithm4
+                        : rendezvous::AlgorithmChoice::kAlgorithm7;
+      for (int i = rng.uniform_int(2, 4); i > 0; --i) {
+        c.fleet.push_back(attrs());
+      }
+      c.ring_radius = d();
+      c.ring_phase = d();
+      for (int i = rng.uniform_int(0, 3); i > 0; --i) {
+        c.jitter.push_back({d(), d()});
+      }
+      c.visibility = d();
+      c.contact_max_time = d();
+      c.gather_max_time = d();
+      break;
+    }
+    case 3: {
+      item.family = engine::Family::kLinear;
+      auto& c = item.linear;
+      c.mode = rng.uniform_int(0, 1) == 0 ? engine::LinearMode::kZigZagSearch
+                                          : engine::LinearMode::kRendezvous;
+      c.attrs.speed = d();
+      c.attrs.time_unit = d();
+      c.attrs.direction = rng.sign();
+      c.target = d();
+      c.visibility = d();
+      c.max_time = d();
+      break;
+    }
+    default: {
+      item.family = engine::Family::kCoverage;
+      auto& c = item.coverage;
+      if (rng.uniform_int(0, 1) == 1) c.program_factory = factory;
+      c.program_name = s();
+      c.program = static_cast<engine::SearchProgram>(rng.uniform_int(0, 2));
+      c.attrs = attrs();
+      c.disk_radius = d();
+      c.visibility = d();
+      c.cell = d();
+      c.checkpoints = rng.uniform_int(1, 8);
+      c.horizon = d();
+      break;
+    }
+  }
+  return item;
+}
+
+TEST(FuzzCacheKey, DistinctCellsNeverCollideAndKeysAreDeterministic) {
+  using rv::engine::cache_key;
+  Xoshiro256 rng(20260730);
+  std::map<std::string, std::string> seen;  // key → canonical dump
+  int keyed = 0, uncacheable = 0, equivalent = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    const rv::engine::WorkItem item = random_item(rng);
+    const auto key = cache_key(item);
+    const bool anonymous_custom =
+        (item.family == rv::engine::Family::kRendezvous &&
+         item.scenario.program && item.scenario.program_name.empty()) ||
+        (item.family == rv::engine::Family::kSearch &&
+         item.search.program_factory && item.search.program_name.empty()) ||
+        (item.family == rv::engine::Family::kCoverage &&
+         item.coverage.program_factory && item.coverage.program_name.empty());
+    ASSERT_EQ(key.has_value(), !anonymous_custom) << "trial " << trial;
+    if (!key) {
+      ++uncacheable;
+      continue;
+    }
+    ++keyed;
+    // Deterministic: a deep copy keys identically.
+    const rv::engine::WorkItem copy = item;
+    ASSERT_EQ(cache_key(copy), key) << "trial " << trial;
+    // Injective: equal keys imply an equal canonical dump.
+    const std::string dump = dump_item(item);
+    const auto [it, inserted] = seen.emplace(*key, dump);
+    if (!inserted) {
+      ASSERT_EQ(it->second, dump)
+          << "trial " << trial
+          << ": two semantically distinct cells share a cache key";
+      ++equivalent;
+    }
+  }
+  // The generator must exercise all paths meaningfully.
+  EXPECT_GT(keyed, 2000);
+  EXPECT_GT(uncacheable, 50);
+  EXPECT_GT(equivalent, 0);  // duplicates occur, and collide *correctly*
+}
+
+TEST(FuzzCacheKey, DocumentedEquivalencesAndSeparations) {
+  using rv::engine::cache_key;
+  rv::engine::WorkItem base;
+  base.family = rv::engine::Family::kSearch;
+  base.search.distance = 1.0;
+  base.search.visibility = 0.25;
+  base.search.angles = 2;
+  base.label = "first";
+
+  // Labels are not keyed.
+  rv::engine::WorkItem relabeled = base;
+  relabeled.label = "second";
+  EXPECT_EQ(cache_key(base), cache_key(relabeled));
+
+  // −0.0 keys as +0.0 (they are numerically equal).
+  rv::engine::WorkItem neg = base;
+  neg.search.angle_offset = -0.0;
+  rv::engine::WorkItem pos = base;
+  pos.search.angle_offset = 0.0;
+  EXPECT_EQ(cache_key(neg), cache_key(pos));
+
+  // Components-only items have no key at all.
+  rv::engine::WorkItem algebra = base;
+  algebra.components_only = true;
+  EXPECT_FALSE(cache_key(algebra).has_value());
+
+  // A ring cell and a targets cell with equal scalars must differ, as
+  // must hostile program names that embed each other.
+  rv::engine::WorkItem with_target = base;
+  with_target.search.targets = {{1.0, 0.0}};
+  EXPECT_NE(cache_key(base), cache_key(with_target));
+  rv::engine::WorkItem named1 = base;
+  named1.search.program_name = "ab";
+  rv::engine::WorkItem named2 = base;
+  named2.search.program_name = "a";
+  EXPECT_NE(cache_key(named1), cache_key(named2));
+  EXPECT_NE(cache_key(named1), cache_key(base));
 }
 
 TEST(FuzzPaths, RandomPathsAreAlwaysContinuousAndClamped) {

@@ -1,0 +1,140 @@
+// Process-level golden pins for the experiment binaries: each bench is
+// executed in a scratch directory and its full stdout plus every
+// artifact it drops under bench_results/ (CSV, SVG) are compared byte
+// for byte against tests/golden/<bench>/.
+//
+// This is the harness that pinned the E2/E6/X2/X3 engine ports: the
+// golden files were captured from the pre-port binaries, so a passing
+// run certifies the declarative ScenarioSet ports reproduce the
+// hand-rolled sweeps exactly.  The other benches are pinned the same
+// way so any future refactor of the engine, simulators or formatting
+// layers diffs loudly here.  Regenerate intentionally changed outputs
+// with RV_UPDATE_GOLDEN=1 (see golden.hpp).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <algorithm>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+#include "golden.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace golden = rv::golden;
+
+/// Directory holding the built bench binaries (the build tree root).
+fs::path bench_dir() {
+#ifdef RV_BENCH_DIR
+  return fs::path(RV_BENCH_DIR);
+#else
+  return fs::current_path();
+#endif
+}
+
+/// Runs `cmd` through the shell, returning captured stdout; fails the
+/// test (and returns nullopt) on spawn failure or non-zero exit.
+std::optional<std::string> run_and_capture(const std::string& cmd) {
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << cmd;
+    return std::nullopt;
+  }
+  std::string out;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = fread(buffer, 1, sizeof buffer, pipe)) > 0) out.append(buffer, n);
+  const int status = pclose(pipe);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    ADD_FAILURE() << "command failed (status " << status << "): " << cmd;
+    return std::nullopt;
+  }
+  return out;
+}
+
+/// Sorted artifact names (relative to `root`), e.g. "bench_results/x.csv".
+std::vector<std::string> artifact_names(const fs::path& root) {
+  std::vector<std::string> names;
+  const fs::path results = root / "bench_results";
+  if (fs::exists(results)) {
+    for (const auto& entry : fs::recursive_directory_iterator(results)) {
+      if (entry.is_regular_file()) {
+        names.push_back(
+            fs::relative(entry.path(), root).generic_string());
+      }
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+class GoldenBench : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenBench, StdoutAndArtifactsMatchPinnedBytes) {
+  const std::string bench = GetParam();
+  const fs::path binary = bench_dir() / bench;
+  if (!fs::exists(binary)) {
+    GTEST_SKIP() << binary << " not built (RV_BUILD_BENCHES=OFF?)";
+  }
+
+  // Scratch working directory: benches drop artifacts relative to cwd.
+  // Removed on every exit path, including mid-test ASSERT returns.
+  std::string scratch =
+      (fs::temp_directory_path() / ("rv_golden_" + bench + "_XXXXXX"))
+          .string();
+  ASSERT_NE(mkdtemp(scratch.data()), nullptr) << "mkdtemp failed";
+  const fs::path workdir(scratch);
+  struct ScratchGuard {
+    fs::path path;
+    ~ScratchGuard() {
+      std::error_code ec;
+      fs::remove_all(path, ec);
+    }
+  } guard{workdir};
+
+  const auto stdout_bytes = run_and_capture(
+      "cd '" + workdir.string() + "' && '" + binary.string() + "'");
+  if (stdout_bytes.has_value()) {
+    if (golden::update_requested()) {
+      // Regeneration replaces the whole pinned tree for this bench, so
+      // stale artifacts do not linger.
+      fs::remove_all(golden::dir() / bench);
+    }
+    golden::compare(*stdout_bytes, bench + "/stdout.txt");
+
+    // Every dropped artifact must match its pin, and the artifact *set*
+    // itself is pinned: a silently added or removed CSV/SVG fails too.
+    const std::vector<std::string> produced = artifact_names(workdir);
+    for (const std::string& name : produced) {
+      const auto bytes = golden::read_file(workdir / name);
+      ASSERT_TRUE(bytes.has_value()) << name;
+      golden::compare(*bytes, bench + "/" + name);
+    }
+    if (!golden::update_requested()) {
+      const std::vector<std::string> pinned =
+          artifact_names(golden::dir() / bench);
+      EXPECT_EQ(produced, pinned)
+          << "artifact set differs from the pinned set for " << bench;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benches, GoldenBench,
+    ::testing::Values("bench_e1_search_bound", "bench_e2_component_times",
+                      "bench_e3_symmetric_chirality",
+                      "bench_e4_opposite_chirality", "bench_e5_phase_schedule",
+                      "bench_e6_overlap", "bench_e7_asymmetric_clocks",
+                      "bench_e8_feasibility", "bench_e9_baselines",
+                      "bench_x1_gathering", "bench_x2_linear",
+                      "bench_x3_coverage", "bench_a1_ablations"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+}  // namespace

@@ -1,0 +1,452 @@
+#include "engine/cache_store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "engine/wire.hpp"
+
+namespace rv::engine {
+
+namespace {
+
+constexpr char kHeader[] = "RVCACHE\x01";  // 8 bytes: magic + format version
+constexpr std::size_t kHeaderSize = 12;    // magic + u32 engine epoch
+constexpr std::uint32_t kRecordMagic = 0x52435245;  // "ERCR" little-endian
+/// Upper bound on a single key/payload size a reader will believe.  A
+/// corrupt length field larger than this is treated as garbage instead
+/// of an allocation request.
+constexpr std::uint32_t kMaxFieldSize = 1u << 28;
+
+// --- primitive encoders (wire::put is the shared fixed-width memcpy
+// core; doubles go through it raw, so every value — including -0.0 and
+// the exact bit pattern of computed results — round-trips identically)
+// ---------------------------------------------------------------------------
+
+using wire::put;
+
+void put_bool(std::string& out, bool v) {
+  put<std::uint8_t>(out, v ? 1 : 0);
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+/// Bounds-checked sequential reader over a payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool get(T* v) {
+    if (data_.size() - pos_ < sizeof(T)) return ok_ = false;
+    std::memcpy(v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool get_bool(bool* v) {
+    std::uint8_t byte = 0;
+    if (!get(&byte)) return false;
+    *v = byte != 0;
+    return true;
+  }
+
+  bool get_str(std::string* s) {
+    std::uint32_t size = 0;
+    if (!get(&size)) return false;
+    if (size > kMaxFieldSize || data_.size() - pos_ < size) {
+      return ok_ = false;
+    }
+    s->assign(data_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- outcome payloads ------------------------------------------------------
+
+void put_sim_result(std::string& out, const sim::SimResult& r) {
+  put_bool(out, r.met);
+  put(out, r.time);
+  put(out, r.distance);
+  put(out, r.min_distance);
+  put(out, r.min_distance_time);
+  put(out, r.position1.x);
+  put(out, r.position1.y);
+  put(out, r.position2.x);
+  put(out, r.position2.y);
+  put(out, r.evals);
+  put(out, r.segments);
+}
+
+bool get_sim_result(Reader& in, sim::SimResult* r) {
+  return in.get_bool(&r->met) && in.get(&r->time) && in.get(&r->distance) &&
+         in.get(&r->min_distance) && in.get(&r->min_distance_time) &&
+         in.get(&r->position1.x) && in.get(&r->position1.y) &&
+         in.get(&r->position2.x) && in.get(&r->position2.y) &&
+         in.get(&r->evals) && in.get(&r->segments);
+}
+
+void put_gather_result(std::string& out, const gather::GatherResult& r) {
+  put_bool(out, r.achieved);
+  put(out, r.time);
+  put<std::int32_t>(out, r.pair_i);
+  put<std::int32_t>(out, r.pair_j);
+  put(out, r.max_pairwise);
+  put(out, r.min_max_pairwise);
+  put(out, r.evals);
+  put(out, r.segments);
+}
+
+bool get_gather_result(Reader& in, gather::GatherResult* r) {
+  std::int32_t pair_i = 0, pair_j = 0;
+  if (!(in.get_bool(&r->achieved) && in.get(&r->time) && in.get(&pair_i) &&
+        in.get(&pair_j) && in.get(&r->max_pairwise) &&
+        in.get(&r->min_max_pairwise) && in.get(&r->evals) &&
+        in.get(&r->segments))) {
+    return false;
+  }
+  r->pair_i = pair_i;
+  r->pair_j = pair_j;
+  return true;
+}
+
+/// FNV-1a 64-bit over the record's key + payload bytes: cheap, strong
+/// enough to reject torn writes and bit rot, no dependency.
+std::uint64_t fnv1a64(std::string_view key, std::string_view payload) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  const auto mix = [&hash](std::string_view bytes) {
+    for (const char c : bytes) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 0x100000001b3ull;
+    }
+  };
+  mix(key);
+  mix(payload);
+  return hash;
+}
+
+}  // namespace
+
+void CacheLoadStats::add(const CacheLoadStats& other) {
+  files += other.files;
+  loaded += other.loaded;
+  duplicates += other.duplicates;
+  skipped += other.skipped;
+  bad_files += other.bad_files;
+}
+
+std::string serialize_entry(const std::string& key,
+                            const ScenarioCache::Entry& entry) {
+  if (key.empty()) {
+    throw std::invalid_argument("serialize_entry: empty cache key");
+  }
+  std::string out;
+  switch (key[0]) {
+    case 'R': {
+      const rendezvous::Outcome& o = entry.outcome;
+      put_sim_result(out, o.sim);
+      put<std::int32_t>(out, static_cast<std::int32_t>(o.feasibility));
+      put(out, o.initial_distance);
+      put_str(out, o.algorithm_name);
+      return out;
+    }
+    case 'S': {
+      const SearchOutcome& o = entry.search_outcome;
+      put<std::int32_t>(out, o.found);
+      put<std::int32_t>(out, o.missed);
+      put_bool(out, o.complete);
+      put(out, o.worst_time);
+      put(out, o.mean_time);
+      put(out, o.worst_angle);
+      put(out, o.first_miss_angle);
+      put_str(out, o.program_name);
+      put(out, o.evals);
+      put(out, o.segments);
+      return out;
+    }
+    case 'G': {
+      put_gather_result(out, entry.gather_outcome.contact);
+      put_gather_result(out, entry.gather_outcome.gathered);
+      return out;
+    }
+    case 'L': {
+      put_bool(out, entry.linear_outcome.feasible);
+      put_sim_result(out, entry.linear_outcome.sim);
+      return out;
+    }
+    case 'C': {
+      const CoverageOutcome& o = entry.coverage_outcome;
+      put<std::uint32_t>(out, static_cast<std::uint32_t>(o.series.size()));
+      for (const analysis::CoveragePoint& p : o.series) {
+        put(out, p.time);
+        put(out, p.fraction);
+        put(out, p.covered_area);
+      }
+      put_str(out, o.program_name);
+      put(out, o.t50);
+      put(out, o.t99);
+      put(out, o.final_fraction);
+      put(out, o.covered_area);
+      return out;
+    }
+    default:
+      throw std::invalid_argument(
+          "serialize_entry: unknown family byte in cache key");
+  }
+}
+
+bool deserialize_entry(const std::string& key, std::string_view payload,
+                       ScenarioCache::Entry* entry) {
+  if (key.empty()) return false;
+  *entry = ScenarioCache::Entry{};
+  Reader in(payload);
+  bool decoded = false;
+  switch (key[0]) {
+    case 'R': {
+      rendezvous::Outcome& o = entry->outcome;
+      std::int32_t feasibility = 0;
+      decoded = get_sim_result(in, &o.sim) && in.get(&feasibility) &&
+                in.get(&o.initial_distance) && in.get_str(&o.algorithm_name);
+      o.feasibility = static_cast<rendezvous::FeasibilityClass>(feasibility);
+      break;
+    }
+    case 'S': {
+      SearchOutcome& o = entry->search_outcome;
+      std::int32_t found = 0, missed = 0;
+      decoded = in.get(&found) && in.get(&missed) &&
+                in.get_bool(&o.complete) && in.get(&o.worst_time) &&
+                in.get(&o.mean_time) && in.get(&o.worst_angle) &&
+                in.get(&o.first_miss_angle) && in.get_str(&o.program_name) &&
+                in.get(&o.evals) && in.get(&o.segments);
+      o.found = found;
+      o.missed = missed;
+      break;
+    }
+    case 'G':
+      decoded = get_gather_result(in, &entry->gather_outcome.contact) &&
+                get_gather_result(in, &entry->gather_outcome.gathered);
+      break;
+    case 'L':
+      decoded = in.get_bool(&entry->linear_outcome.feasible) &&
+                get_sim_result(in, &entry->linear_outcome.sim);
+      break;
+    case 'C': {
+      CoverageOutcome& o = entry->coverage_outcome;
+      std::uint32_t count = 0;
+      // The count is untrusted until proven payable: each point costs
+      // 3 doubles of payload, so a count the remaining bytes cannot
+      // cover is corruption — reject it *before* allocating.
+      decoded = in.get(&count) &&
+                count <= in.remaining() / (3 * sizeof(double));
+      if (decoded) {
+        o.series.resize(count);
+        for (analysis::CoveragePoint& p : o.series) {
+          if (!(in.get(&p.time) && in.get(&p.fraction) &&
+                in.get(&p.covered_area))) {
+            decoded = false;
+            break;
+          }
+        }
+        decoded = decoded && in.get_str(&o.program_name) && in.get(&o.t50) &&
+                  in.get(&o.t99) && in.get(&o.final_fraction) &&
+                  in.get(&o.covered_area);
+      }
+      break;
+    }
+    default:
+      return false;
+  }
+  // Trailing bytes mean the payload does not actually encode this
+  // family's outcome — treat the record as corrupt.
+  return decoded && in.ok() && in.exhausted();
+}
+
+void save_cache_file(const std::filesystem::path& path,
+                     const ScenarioCache& cache) {
+  std::string out(kHeader, 8);
+  put<std::uint32_t>(out, kEngineCacheEpoch);
+  for (const auto& [key, entry] : cache.snapshot()) {
+    const std::string payload = serialize_entry(key, entry);
+    put<std::uint32_t>(out, kRecordMagic);
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(key.size()));
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
+    out += key;
+    out += payload;
+    put<std::uint64_t>(out, fnv1a64(key, payload));
+  }
+  if (!path.parent_path().empty()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  // Write-then-rename so a concurrent reader (another shard
+  // warm-loading the directory) never observes a half-written file;
+  // the pid suffix keeps retried duplicates of the same shard from
+  // interleaving on one temp file.
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    file.write(out.data(), static_cast<std::streamsize>(out.size()));
+    file.flush();  // surface deferred write errors before the state check
+    if (!file) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error("save_cache_file: cannot write " +
+                               tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("save_cache_file: cannot publish " +
+                             path.string());
+  }
+}
+
+std::vector<std::filesystem::path> list_cache_files(
+    const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return files;
+  for (const auto& dir_entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (dir_entry.is_regular_file() &&
+        dir_entry.path().extension() == kCacheFileExtension) {
+      files.push_back(dir_entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+CacheLoadStats load_cache_file(const std::filesystem::path& path,
+                               ScenarioCache* cache) {
+  CacheLoadStats stats;
+  std::error_code size_ec;
+  const std::uintmax_t file_size =
+      std::filesystem::file_size(path, size_ec);
+  std::ifstream file(path, std::ios::binary);
+  if (!file || size_ec) {
+    stats.bad_files = 1;
+    return stats;
+  }
+  // One allocation, one read — cache files can be large and every
+  // warm-load touches all of them.
+  std::string data(static_cast<std::size_t>(file_size), '\0');
+  file.read(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!file || static_cast<std::uintmax_t>(file.gcount()) != file_size) {
+    stats.bad_files = 1;
+    return stats;
+  }
+  std::uint32_t epoch = 0;
+  if (data.size() >= kHeaderSize) std::memcpy(&epoch, data.data() + 8, 4);
+  if (data.size() < kHeaderSize || std::memcmp(data.data(), kHeader, 8) != 0 ||
+      epoch != kEngineCacheEpoch) {
+    // Wrong magic, format, or engine epoch: outcomes written by a
+    // different engine generation must not replay as current results.
+    stats.bad_files = 1;
+    return stats;
+  }
+  stats.files = 1;
+
+  // Sequential record scan.  Any inconsistency — wrong magic, absurd
+  // sizes, truncation, checksum mismatch, undecodable payload —
+  // resynchronises on the next occurrence of the record magic, so a
+  // corrupt region costs its own records and one substring search, not
+  // a byte-by-byte re-validation.  `skipped` counts contiguous corrupt
+  // regions, not bytes; a pathological file full of fake magics gives
+  // up after kMaxFailedRecords attempts instead of grinding
+  // quadratically.
+  constexpr std::size_t kMaxFailedRecords = 1024;
+  const std::string magic_bytes(reinterpret_cast<const char*>(&kRecordMagic),
+                                sizeof(kRecordMagic));
+  std::size_t pos = kHeaderSize;
+  std::size_t failed_records = 0;
+  bool in_bad_region = false;
+  const auto flag_bad = [&] {
+    if (!in_bad_region) {
+      ++stats.skipped;
+      in_bad_region = true;
+    }
+    if (++failed_records >= kMaxFailedRecords) {
+      pos = data.size();  // give up on the remainder, keep what loaded
+      return;
+    }
+    const std::size_t next = data.find(magic_bytes, pos + 1);
+    pos = next == std::string::npos ? data.size() : next;
+  };
+  while (pos < data.size()) {
+    const std::size_t remaining = data.size() - pos;
+    if (remaining < 12) {  // record header: magic + key_size + payload_size
+      flag_bad();
+      continue;
+    }
+    std::uint32_t magic = 0, key_size = 0, payload_size = 0;
+    std::memcpy(&magic, data.data() + pos, 4);
+    std::memcpy(&key_size, data.data() + pos + 4, 4);
+    std::memcpy(&payload_size, data.data() + pos + 8, 4);
+    if (magic != kRecordMagic || key_size == 0 || key_size > kMaxFieldSize ||
+        payload_size > kMaxFieldSize ||
+        remaining < 12 + std::size_t{key_size} + payload_size + 8) {
+      flag_bad();
+      continue;
+    }
+    const char* base = data.data() + pos + 12;
+    const std::string key(base, key_size);
+    const std::string_view payload(base + key_size, payload_size);
+    std::uint64_t checksum = 0;
+    std::memcpy(&checksum, base + key_size + payload_size, 8);
+    ScenarioCache::Entry entry;
+    if (checksum != fnv1a64(key, payload) ||
+        !deserialize_entry(key, payload, &entry)) {
+      flag_bad();
+      continue;
+    }
+    in_bad_region = false;
+    if (cache->store(key, std::move(entry))) {
+      ++stats.loaded;
+    } else {
+      ++stats.duplicates;
+    }
+    pos += 12 + std::size_t{key_size} + payload_size + 8;
+  }
+  return stats;
+}
+
+CacheLoadStats load_cache_dir(const std::filesystem::path& dir,
+                              ScenarioCache* cache) {
+  CacheLoadStats stats;
+  for (const std::filesystem::path& file : list_cache_files(dir)) {
+    stats.add(load_cache_file(file, cache));
+  }
+  return stats;
+}
+
+CacheLoadStats merge_cache_files(
+    const std::vector<std::filesystem::path>& inputs,
+    const std::filesystem::path& output) {
+  ScenarioCache merged;
+  CacheLoadStats stats;
+  for (const std::filesystem::path& input : inputs) {
+    stats.add(load_cache_file(input, &merged));
+  }
+  save_cache_file(output, merged);
+  return stats;
+}
+
+}  // namespace rv::engine

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file cache_store.hpp
+/// Persistent on-disk storage for `engine::ScenarioCache`.
+///
+/// PR 3's result cache memoizes work-item outcomes *within* a process,
+/// keyed by the canonical content key (`engine::cache_key`).  This
+/// layer makes those entries survive the process: a **cache file** is
+/// an append-only sequence of (key, outcome payload) records with a
+/// versioned header, written deterministically (entries sorted by key
+/// bytes) and loaded tolerantly (a truncated or corrupted record is
+/// skipped — byte-resynchronising on the next record magic — and never
+/// crashes the reader).  Because the cached outcome *is* the computed
+/// outcome down to eval/segment counters, a run replaying entries
+/// loaded from disk emits table/CSV/JSON byte-identical to the run
+/// that produced them — the property the sharded `rv_batch` front-end
+/// is built on (see engine/shard.hpp and tools/rv_batch.cpp).
+///
+/// File format (all integers little-endian on every supported target —
+/// raw `memcpy` of fixed-width types; doubles are raw IEEE-754 bytes so
+/// values round-trip exactly):
+///
+///     file   := header record*
+///     header := "RVCACHE\x01"                      (8 bytes: magic+format)
+///               u32 engine epoch (`kEngineCacheEpoch`)
+///     record := u32 magic = 0x52435245 ("ERCR")
+///               u32 key_size
+///               u32 payload_size
+///               key_size bytes of cache_key
+///               payload_size bytes of outcome payload
+///               u64 fnv1a64(key bytes + payload bytes)
+///
+/// The payload encodes only the outcome matching the key's family (its
+/// leading byte, 'R'/'S'/'G'/'L'/'C' — see `engine::cache_key`); the
+/// other `ScenarioCache::Entry` members stay default-constructed on
+/// load, exactly as the in-memory cache keeps them.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/runner.hpp"
+
+namespace rv::engine {
+
+/// Conventional extension of cache files inside a cache directory.
+inline constexpr const char* kCacheFileExtension = ".rvcache";
+
+/// Engine generation stamped into every cache file header.  Cache keys
+/// encode scenario *inputs*, not engine behaviour — so when an engine
+/// change alters any computed outcome (algorithm trajectories, sweep
+/// certification, counters), old files must not replay as current
+/// results.  **Bump this constant with any such change**: readers
+/// reject files from other epochs (counted as `bad_files`) and the
+/// outcomes are recomputed and re-persisted on the next run.
+inline constexpr std::uint32_t kEngineCacheEpoch = 1;
+
+/// What `load_cache_file` / `load_cache_dir` found.
+struct CacheLoadStats {
+  std::size_t files = 0;       ///< cache files opened successfully
+  std::size_t loaded = 0;      ///< records decoded and stored
+  std::size_t duplicates = 0;  ///< records whose key was already present
+  std::size_t skipped = 0;     ///< corrupt/truncated records skipped
+  std::size_t bad_files = 0;   ///< files missing or with a bad header
+
+  /// Merges another load's counters into this one.
+  void add(const CacheLoadStats& other);
+};
+
+/// Serializes the payload of `entry` for `key` (family = key's leading
+/// byte).  \throws std::invalid_argument when the key is empty or its
+/// family byte is unknown.
+[[nodiscard]] std::string serialize_entry(const std::string& key,
+                                          const ScenarioCache::Entry& entry);
+
+/// Decodes a payload produced by `serialize_entry` back into `*entry`.
+/// Returns false (leaving `*entry` unspecified) on a malformed payload
+/// — short buffers, trailing bytes, unknown family — so corrupt
+/// records are skipped rather than trusted.
+[[nodiscard]] bool deserialize_entry(const std::string& key,
+                                     std::string_view payload,
+                                     ScenarioCache::Entry* entry);
+
+/// Writes every entry of `cache` to `path` (header + one record per
+/// entry, sorted by key bytes — byte-identical output for equal
+/// contents).  The write is atomic-by-rename: concurrent readers see
+/// either the old file or the complete new one, never a torn write.
+/// \throws std::runtime_error when the file cannot be written.
+void save_cache_file(const std::filesystem::path& path,
+                     const ScenarioCache& cache);
+
+/// The `*.rvcache` files directly inside `dir`, sorted by path — the
+/// exact list (and order) `load_cache_dir` loads.  A missing directory
+/// yields an empty list.
+[[nodiscard]] std::vector<std::filesystem::path> list_cache_files(
+    const std::filesystem::path& dir);
+
+/// Loads the records of one cache file into `cache` (first writer wins:
+/// keys already present are counted as `duplicates` and left alone).
+/// Never throws on *content*: a missing file or bad header counts as
+/// `bad_files`, a corrupt or truncated record as `skipped`.
+CacheLoadStats load_cache_file(const std::filesystem::path& path,
+                               ScenarioCache* cache);
+
+/// Loads every `*.rvcache` file directly inside `dir` (sorted by file
+/// name, so merges are deterministic) into `cache`.  A missing
+/// directory simply loads nothing.
+CacheLoadStats load_cache_dir(const std::filesystem::path& dir,
+                              ScenarioCache* cache);
+
+/// Merges cache files: loads every input (in order, first writer wins
+/// per key) and saves the union to `output`.  Returns the combined
+/// load counters.  \throws std::runtime_error when `output` cannot be
+/// written.
+CacheLoadStats merge_cache_files(
+    const std::vector<std::filesystem::path>& inputs,
+    const std::filesystem::path& output);
+
+}  // namespace rv::engine

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "engine/wire.hpp"
 #include "linear/zigzag.hpp"
 #include "mathx/constants.hpp"
 #include "mathx/stats.hpp"
@@ -186,22 +187,15 @@ geom::Vec2 gather_origin(const GatherCell& cell, std::size_t i) {
 
 namespace {
 
-/// Canonical byte encoders.  Doubles are appended as raw IEEE-754
-/// bytes with −0.0 normalised onto +0.0 (the only distinct
-/// representations that compare numerically equal here), integers as
-/// fixed-width raw bytes, strings length-prefixed.
+/// Canonical byte encoders (cores shared with the cache store via
+/// engine/wire.hpp).  Doubles are appended canonically — −0.0
+/// normalised onto +0.0 — integers as fixed-width raw bytes, strings
+/// length-prefixed.
 void append_f64(std::string& out, double v) {
-  v += 0.0;  // −0.0 → +0.0
-  char bytes[sizeof(v)];
-  std::memcpy(bytes, &v, sizeof(v));
-  out.append(bytes, sizeof(v));
+  wire::put_f64_canonical(out, v);
 }
 
-void append_i32(std::string& out, std::int32_t v) {
-  char bytes[sizeof(v)];
-  std::memcpy(bytes, &v, sizeof(v));
-  out.append(bytes, sizeof(v));
-}
+void append_i32(std::string& out, std::int32_t v) { wire::put(out, v); }
 
 void append_str(std::string& out, const std::string& s) {
   append_i32(out, static_cast<std::int32_t>(s.size()));

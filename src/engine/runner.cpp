@@ -1,5 +1,6 @@
 #include "engine/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <exception>
@@ -133,9 +134,22 @@ bool ScenarioCache::lookup(const std::string& key, Entry* out) const {
   return true;
 }
 
-void ScenarioCache::store(const std::string& key, Entry entry) {
+bool ScenarioCache::store(const std::string& key, Entry entry) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  map_.emplace(key, std::move(entry));
+  return map_.emplace(key, std::move(entry)).second;
+}
+
+std::vector<std::pair<std::string, ScenarioCache::Entry>>
+ScenarioCache::snapshot() const {
+  std::vector<std::pair<std::string, Entry>> entries;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries.reserve(map_.size());
+    for (const auto& [key, entry] : map_) entries.emplace_back(key, entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
 }
 
 std::size_t ScenarioCache::size() const {

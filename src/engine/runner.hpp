@@ -39,6 +39,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "engine/families.hpp"
@@ -83,8 +84,14 @@ class ScenarioCache {
   /// Copies the entry stored under `key` into `*out`; false if absent.
   [[nodiscard]] bool lookup(const std::string& key, Entry* out) const;
   /// Stores the entry under `key` (first writer wins on a race — both
-  /// writers computed identical outcomes).
-  void store(const std::string& key, Entry entry);
+  /// writers computed identical outcomes).  Returns true when the key
+  /// was new, false when an entry was already present (left alone).
+  bool store(const std::string& key, Entry entry);
+
+  /// Every (key, entry) pair, sorted by key bytes.  The deterministic
+  /// export used by `engine::save_cache_file`: two caches holding the
+  /// same entries snapshot identically regardless of insertion order.
+  [[nodiscard]] std::vector<std::pair<std::string, Entry>> snapshot() const;
 
   /// Number of memoized outcomes.
   [[nodiscard]] std::size_t size() const;

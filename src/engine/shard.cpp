@@ -1,0 +1,110 @@
+#include "engine/shard.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace rv::engine {
+
+ShardPlan shard_plan(std::size_t total, std::size_t shard,
+                     std::size_t num_shards) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("shard_plan: num_shards must be >= 1");
+  }
+  if (shard >= num_shards) {
+    throw std::invalid_argument("shard_plan: shard " + std::to_string(shard) +
+                                " out of range for " +
+                                std::to_string(num_shards) + " shards");
+  }
+  ShardPlan plan;
+  plan.shard = shard;
+  plan.num_shards = num_shards;
+  plan.total = total;
+  for (std::size_t i = shard; i < total; i += num_shards) {
+    plan.indices.push_back(i);
+  }
+  return plan;
+}
+
+std::vector<WorkItem> shard_work(const std::vector<WorkItem>& work,
+                                 const ShardPlan& plan) {
+  if (work.size() != plan.total) {
+    throw std::invalid_argument(
+        "shard_work: plan covers " + std::to_string(plan.total) +
+        " items but the work list has " + std::to_string(work.size()));
+  }
+  std::vector<WorkItem> subset;
+  subset.reserve(plan.indices.size());
+  for (const std::size_t i : plan.indices) subset.push_back(work[i]);
+  return subset;
+}
+
+ResultSet run_shard(const std::vector<WorkItem>& work, const ShardPlan& plan,
+                    RunnerOptions options) {
+  return run_scenarios(shard_work(work, plan), options);
+}
+
+ResultSet merge_shards(const std::vector<ShardResult>& shards) {
+  if (shards.empty()) return ResultSet{};
+  const std::size_t total = shards[0].plan.total;
+  const std::size_t num_shards = shards[0].plan.num_shards;
+  std::vector<RunRecord> records(total);
+  std::vector<bool> placed(total, false);
+  CacheStats stats;
+  for (const ShardResult& shard : shards) {
+    if (shard.plan.total != total || shard.plan.num_shards != num_shards) {
+      throw std::invalid_argument(
+          "merge_shards: shard plans disagree on the partition "
+          "(total/num_shards)");
+    }
+    if (shard.results.size() != shard.plan.indices.size()) {
+      throw std::invalid_argument(
+          "merge_shards: shard " + std::to_string(shard.plan.shard) +
+          " has " + std::to_string(shard.results.size()) + " records for " +
+          std::to_string(shard.plan.indices.size()) + " planned items");
+    }
+    for (std::size_t k = 0; k < shard.plan.indices.size(); ++k) {
+      const std::size_t i = shard.plan.indices[k];
+      if (i >= total || placed[i]) {
+        throw std::invalid_argument(
+            "merge_shards: item index " + std::to_string(i) +
+            " out of range or covered twice");
+      }
+      records[i] = shard.results[k];
+      placed[i] = true;
+    }
+    stats.hits += shard.results.cache_stats().hits;
+    stats.misses += shard.results.cache_stats().misses;
+    stats.uncacheable += shard.results.cache_stats().uncacheable;
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    if (!placed[i]) {
+      throw std::invalid_argument("merge_shards: item index " +
+                                  std::to_string(i) +
+                                  " covered by no shard (incomplete merge)");
+    }
+  }
+  ResultSet merged(std::move(records));
+  merged.set_cache_stats(stats);
+  return merged;
+}
+
+ResultSet run_sharded(const ScenarioSet& set, std::size_t num_shards,
+                      RunnerOptions options) {
+  if (num_shards == 0) {
+    // Without this, zero shards would "merge" into an empty ResultSet
+    // that masquerades as an empty set; fail like shard_plan does.
+    throw std::invalid_argument("run_sharded: num_shards must be >= 1");
+  }
+  const std::vector<WorkItem> work = set.materialize_work();
+  std::vector<ShardResult> shards;
+  shards.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    ShardPlan plan = shard_plan(work.size(), s, num_shards);
+    ResultSet results = run_shard(work, plan, options);
+    shards.push_back({std::move(plan), std::move(results)});
+  }
+  return merge_shards(shards);
+}
+
+}  // namespace rv::engine

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file wire.hpp
+/// Fixed-width byte encoders shared by the two binary surfaces of the
+/// engine: the cache-*key* builder (`engine::cache_key` in
+/// families.cpp) and the cache-*store* payload codec
+/// (engine/cache_store.cpp).  Both append raw `memcpy` bytes of
+/// fixed-width types (little-endian on every supported target), but
+/// they need different double semantics — keys canonicalise −0.0 onto
+/// +0.0 so numerically equal cells key identically, while stored
+/// outcomes must round-trip bit-exactly — so both variants live here,
+/// explicitly named, instead of two drifting private copies.
+
+#include <cstring>
+#include <string>
+
+namespace rv::engine::wire {
+
+/// Appends the raw bytes of a fixed-width value.
+template <typename T>
+inline void put(std::string& out, T v) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+/// Doubles for *stored payloads*: raw IEEE-754 bytes, exact round-trip
+/// (−0.0, NaN payloads and all).
+inline void put_f64_raw(std::string& out, double v) { put(out, v); }
+
+/// Doubles for *content keys*: −0.0 normalised onto +0.0 (the only
+/// distinct representations that compare numerically equal here), so
+/// equal cells produce equal keys.
+inline void put_f64_canonical(std::string& out, double v) {
+  v += 0.0;  // −0.0 → +0.0
+  put(out, v);
+}
+
+}  // namespace rv::engine::wire

@@ -1,0 +1,501 @@
+// Tests for the persistent ScenarioCache store (engine/cache_store):
+// exact payload round-trips for all five outcome families, deterministic
+// file bytes, corruption tolerance (truncated files, flipped bytes, bad
+// headers — skip, never crash), merge semantics, and cross-run hit
+// counting through a file (the single-machine model of the cross-process
+// hand-off rv_batch performs).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "engine/cache_store.hpp"
+#include "engine/families.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using rv::engine::CacheLoadStats;
+using rv::engine::ScenarioCache;
+
+/// Bit-exact double comparison: NaNs with equal payloads compare equal,
+/// +0.0 and -0.0 do not — exactly what "replayed outcomes emit the same
+/// bytes" requires.
+bool same_bits(double a, double b) {
+  std::uint64_t ab = 0, bb = 0;
+  std::memcpy(&ab, &a, sizeof(a));
+  std::memcpy(&bb, &b, sizeof(b));
+  return ab == bb;
+}
+
+/// Fresh scratch directory per test, removed on destruction.
+struct Scratch {
+  fs::path path;
+  Scratch() {
+    path = fs::temp_directory_path() / "rv_cache_store_XXXXXX";
+    std::string buffer = path.string();
+    EXPECT_NE(mkdtemp(buffer.data()), nullptr);
+    path = buffer;
+  }
+  ~Scratch() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+rv::sim::SimResult sample_sim_result() {
+  rv::sim::SimResult sim;
+  sim.met = true;
+  sim.time = 12.3456789012345;
+  sim.distance = 0.05;
+  sim.min_distance = 0.0125;
+  sim.min_distance_time = 11.5;
+  sim.position1 = {1.25, -2.5};
+  sim.position2 = {1.3, -2.45};
+  sim.evals = 421;
+  sim.segments = 97;
+  return sim;
+}
+
+/// Serialize → deserialize under `key` and require success.
+ScenarioCache::Entry round_trip(const std::string& key,
+                                const ScenarioCache::Entry& entry) {
+  const std::string payload = rv::engine::serialize_entry(key, entry);
+  ScenarioCache::Entry decoded;
+  EXPECT_TRUE(rv::engine::deserialize_entry(key, payload, &decoded))
+      << "family byte: " << key[0];
+  return decoded;
+}
+
+TEST(CacheStoreSerialization, RendezvousOutcomeRoundTripsExactly) {
+  ScenarioCache::Entry entry;
+  entry.outcome.sim = sample_sim_result();
+  entry.outcome.feasibility = rv::rendezvous::classify(
+      rv::geom::reference_attributes());
+  entry.outcome.initial_distance = -0.0;  // sign must survive
+  entry.outcome.algorithm_name = "algorithm7";
+
+  const ScenarioCache::Entry decoded = round_trip("R-key", entry);
+  EXPECT_EQ(decoded.outcome.sim.met, entry.outcome.sim.met);
+  EXPECT_TRUE(same_bits(decoded.outcome.sim.time, entry.outcome.sim.time));
+  EXPECT_TRUE(same_bits(decoded.outcome.sim.position2.y,
+                        entry.outcome.sim.position2.y));
+  EXPECT_EQ(decoded.outcome.sim.evals, entry.outcome.sim.evals);
+  EXPECT_EQ(decoded.outcome.sim.segments, entry.outcome.sim.segments);
+  EXPECT_EQ(decoded.outcome.feasibility, entry.outcome.feasibility);
+  EXPECT_TRUE(same_bits(decoded.outcome.initial_distance, -0.0));
+  EXPECT_EQ(decoded.outcome.algorithm_name, "algorithm7");
+}
+
+TEST(CacheStoreSerialization, SearchOutcomeRoundTripsExactly) {
+  ScenarioCache::Entry entry;
+  entry.search_outcome.found = 7;
+  entry.search_outcome.missed = 1;
+  entry.search_outcome.complete = false;
+  entry.search_outcome.worst_time = 123.456;
+  entry.search_outcome.mean_time = 98.7;
+  entry.search_outcome.worst_angle = -2.7488935718910690836;
+  entry.search_outcome.first_miss_angle = 0.03;
+  entry.search_outcome.program_name = "algorithm4";
+  entry.search_outcome.evals = 123456789ull;
+  entry.search_outcome.segments = 987654321ull;
+
+  const ScenarioCache::Entry decoded = round_trip("S-key", entry);
+  EXPECT_EQ(decoded.search_outcome.found, 7);
+  EXPECT_EQ(decoded.search_outcome.missed, 1);
+  EXPECT_FALSE(decoded.search_outcome.complete);
+  EXPECT_TRUE(same_bits(decoded.search_outcome.worst_angle,
+                        entry.search_outcome.worst_angle));
+  EXPECT_EQ(decoded.search_outcome.program_name, "algorithm4");
+  EXPECT_EQ(decoded.search_outcome.evals, entry.search_outcome.evals);
+  EXPECT_EQ(decoded.search_outcome.segments, entry.search_outcome.segments);
+}
+
+TEST(CacheStoreSerialization, GatherOutcomeRoundTripsExactly) {
+  ScenarioCache::Entry entry;
+  entry.gather_outcome.contact.achieved = true;
+  entry.gather_outcome.contact.time = 17.25;
+  entry.gather_outcome.contact.pair_i = 0;
+  entry.gather_outcome.contact.pair_j = 2;
+  entry.gather_outcome.contact.max_pairwise = 3.5;
+  entry.gather_outcome.contact.min_max_pairwise = 0.19;
+  entry.gather_outcome.contact.evals = 77;
+  entry.gather_outcome.contact.segments = 31;
+  entry.gather_outcome.gathered.achieved = false;
+  entry.gather_outcome.gathered.time = 2e5;
+  entry.gather_outcome.gathered.pair_i = -1;
+  entry.gather_outcome.gathered.pair_j = -1;
+  entry.gather_outcome.gathered.min_max_pairwise =
+      std::numeric_limits<double>::infinity();  // non-finite must survive
+
+  const ScenarioCache::Entry decoded = round_trip("G-key", entry);
+  EXPECT_TRUE(decoded.gather_outcome.contact.achieved);
+  EXPECT_EQ(decoded.gather_outcome.contact.pair_j, 2);
+  EXPECT_TRUE(same_bits(decoded.gather_outcome.contact.min_max_pairwise,
+                        0.19));
+  EXPECT_FALSE(decoded.gather_outcome.gathered.achieved);
+  EXPECT_EQ(decoded.gather_outcome.gathered.pair_i, -1);
+  EXPECT_TRUE(std::isinf(decoded.gather_outcome.gathered.min_max_pairwise));
+}
+
+TEST(CacheStoreSerialization, LinearOutcomeRoundTripsExactly) {
+  ScenarioCache::Entry entry;
+  entry.linear_outcome.feasible = true;
+  entry.linear_outcome.sim = sample_sim_result();
+
+  const ScenarioCache::Entry decoded = round_trip("L-key", entry);
+  EXPECT_TRUE(decoded.linear_outcome.feasible);
+  EXPECT_TRUE(same_bits(decoded.linear_outcome.sim.min_distance_time,
+                        entry.linear_outcome.sim.min_distance_time));
+  EXPECT_EQ(decoded.linear_outcome.sim.segments,
+            entry.linear_outcome.sim.segments);
+}
+
+TEST(CacheStoreSerialization, CoverageOutcomeRoundTripsExactly) {
+  ScenarioCache::Entry entry;
+  entry.coverage_outcome.series = {
+      {0.0, 0.0, 0.0}, {10.0, 0.5, 3.53}, {20.0, 0.995, 7.03}};
+  entry.coverage_outcome.program_name = "square-spiral";
+  entry.coverage_outcome.t50 = 10.0;
+  entry.coverage_outcome.t99 = 20.0;
+  entry.coverage_outcome.final_fraction = 0.995;
+  entry.coverage_outcome.covered_area = 7.03;
+
+  const ScenarioCache::Entry decoded = round_trip("C-key", entry);
+  ASSERT_EQ(decoded.coverage_outcome.series.size(), 3u);
+  EXPECT_TRUE(same_bits(decoded.coverage_outcome.series[1].fraction, 0.5));
+  EXPECT_TRUE(same_bits(decoded.coverage_outcome.series[2].covered_area,
+                        7.03));
+  EXPECT_EQ(decoded.coverage_outcome.program_name, "square-spiral");
+  EXPECT_TRUE(same_bits(decoded.coverage_outcome.t99, 20.0));
+}
+
+TEST(CacheStoreSerialization, RejectsUnknownFamilyAndTrailingBytes) {
+  ScenarioCache::Entry entry;
+  EXPECT_THROW((void)rv::engine::serialize_entry("", entry),
+               std::invalid_argument);
+  EXPECT_THROW((void)rv::engine::serialize_entry("Xkey", entry),
+               std::invalid_argument);
+
+  ScenarioCache::Entry decoded;
+  EXPECT_FALSE(rv::engine::deserialize_entry("Xkey", "abc", &decoded));
+  // A valid payload with appended garbage is corrupt, not "close enough".
+  std::string payload = rv::engine::serialize_entry("L-key", entry);
+  payload += '\0';
+  EXPECT_FALSE(rv::engine::deserialize_entry("L-key", payload, &decoded));
+  // A truncated payload is corrupt too.
+  payload = rv::engine::serialize_entry("L-key", entry);
+  payload.pop_back();
+  EXPECT_FALSE(rv::engine::deserialize_entry("L-key", payload, &decoded));
+}
+
+TEST(CacheStoreSerialization, RejectsCoverageCountLargerThanPayload) {
+  // A crafted 'C' payload claiming a huge series count must be
+  // rejected *before* any allocation: the count is only believable if
+  // the remaining bytes can pay for it (3 doubles per point).
+  std::string payload;
+  const std::uint32_t huge = 0x0FFFFFFF;
+  payload.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  payload.append(64, '\0');  // far fewer than huge * 24 bytes
+  ScenarioCache::Entry decoded;
+  EXPECT_FALSE(rv::engine::deserialize_entry("C-key", payload, &decoded));
+  EXPECT_TRUE(decoded.coverage_outcome.series.empty());
+}
+
+/// A small all-family scenario set, used to populate caches with real
+/// computed outcomes.
+rv::engine::ScenarioSet small_all_family_set() {
+  rv::engine::ScenarioSet set;
+  rv::rendezvous::Scenario scenario;
+  scenario.attrs.speed = 1.5;
+  scenario.visibility = 0.25;
+  scenario.max_time = 1e3;
+  set.add(scenario);
+
+  rv::engine::SearchCell search;
+  search.angles = 3;
+  search.distance = 1.0;
+  search.visibility = 0.25;
+  search.max_time = 1e3;
+  set.add_search(search);
+
+  rv::engine::GatherCell gather;
+  rv::geom::RobotAttributes fast = rv::geom::reference_attributes();
+  fast.speed = 2.0;
+  gather.fleet = {rv::geom::reference_attributes(), fast};
+  gather.visibility = 0.2;
+  gather.contact_max_time = 1e3;
+  gather.gather_max_time = 1e3;
+  set.add_gather(gather);
+
+  rv::engine::LinearCell linear;
+  linear.mode = rv::engine::LinearMode::kZigZagSearch;
+  linear.target = 1.0;
+  linear.visibility = 0.01;
+  linear.max_time = 1e3;
+  set.add_linear(linear);
+
+  rv::engine::CoverageCell coverage;
+  coverage.disk_radius = 0.5;
+  coverage.visibility = 0.1;
+  coverage.cell = 0.05;
+  coverage.checkpoints = 4;
+  coverage.horizon = 50.0;
+  set.add_coverage(coverage);
+  return set;
+}
+
+/// Runs `set` with a fresh cache attached; returns the cache populated
+/// with the computed outcomes.
+void populate(const rv::engine::ScenarioSet& set, ScenarioCache* cache,
+              std::string* csv = nullptr) {
+  rv::engine::RunnerOptions options;
+  options.threads = 1;
+  options.cache = cache;
+  const rv::engine::ResultSet results = rv::engine::run_scenarios(set, options);
+  EXPECT_EQ(results.cache_stats().misses, results.size());
+  if (csv != nullptr) {
+    *csv = results.filtered(rv::engine::Family::kSearch).to_csv();
+  }
+}
+
+TEST(CacheStoreFile, SaveLoadRoundTripsAllFamilies) {
+  Scratch scratch;
+  ScenarioCache cache;
+  populate(small_all_family_set(), &cache);
+  ASSERT_EQ(cache.size(), 5u);  // one entry per family
+
+  const fs::path path = scratch.path / "all.rvcache";
+  rv::engine::save_cache_file(path, cache);
+
+  ScenarioCache loaded;
+  const CacheLoadStats stats = rv::engine::load_cache_file(path, &loaded);
+  EXPECT_EQ(stats.files, 1u);
+  EXPECT_EQ(stats.loaded, 5u);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_EQ(stats.bad_files, 0u);
+
+  // The loaded cache must be *indistinguishable* from the original:
+  // same keys, bitwise-same payloads.
+  const auto want = cache.snapshot();
+  const auto got = loaded.snapshot();
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].first, got[i].first);
+    EXPECT_EQ(rv::engine::serialize_entry(want[i].first, want[i].second),
+              rv::engine::serialize_entry(got[i].first, got[i].second));
+  }
+}
+
+TEST(CacheStoreFile, SavedBytesAreDeterministic) {
+  Scratch scratch;
+  ScenarioCache cache;
+  populate(small_all_family_set(), &cache);
+
+  const fs::path a = scratch.path / "a.rvcache";
+  const fs::path b = scratch.path / "b.rvcache";
+  rv::engine::save_cache_file(a, cache);
+  // A cache rebuilt through a different path (load, not compute) must
+  // serialize to the same bytes — snapshot order is key order, not
+  // insertion order.
+  ScenarioCache reloaded;
+  (void)rv::engine::load_cache_file(a, &reloaded);
+  rv::engine::save_cache_file(b, reloaded);
+  std::ifstream fa(a, std::ios::binary), fb(b, std::ios::binary);
+  std::string sa((std::istreambuf_iterator<char>(fa)),
+                 std::istreambuf_iterator<char>());
+  std::string sb((std::istreambuf_iterator<char>(fb)),
+                 std::istreambuf_iterator<char>());
+  EXPECT_EQ(sa, sb);
+  EXPECT_FALSE(sa.empty());
+}
+
+TEST(CacheStoreFile, WarmRunFromDiskHitsEverythingAndEmitsSameBytes) {
+  Scratch scratch;
+  // "Process A": compute, persist.
+  ScenarioCache first;
+  std::string cold_csv;
+  populate(small_all_family_set(), &first, &cold_csv);
+  const fs::path path = scratch.path / "a.rvcache";
+  rv::engine::save_cache_file(path, first);
+
+  // "Process B": a fresh cache warm-loaded from A's file.  Every item
+  // replays (cross-process hit counting) and emission is byte-identical.
+  ScenarioCache second;
+  (void)rv::engine::load_cache_file(path, &second);
+  rv::engine::RunnerOptions options;
+  options.threads = 1;
+  options.cache = &second;
+  const rv::engine::ResultSet warm =
+      rv::engine::run_scenarios(small_all_family_set(), options);
+  EXPECT_EQ(warm.cache_stats().hits, warm.size());
+  EXPECT_EQ(warm.cache_stats().misses, 0u);
+  EXPECT_EQ(warm.cache_stats().uncacheable, 0u);
+  EXPECT_EQ(warm.filtered(rv::engine::Family::kSearch).to_csv(), cold_csv);
+}
+
+TEST(CacheStoreFile, MissingFileAndBadHeaderAreReportedNotThrown) {
+  Scratch scratch;
+  ScenarioCache cache;
+  CacheLoadStats stats =
+      rv::engine::load_cache_file(scratch.path / "absent.rvcache", &cache);
+  EXPECT_EQ(stats.bad_files, 1u);
+  EXPECT_EQ(stats.loaded, 0u);
+
+  const fs::path garbage = scratch.path / "garbage.rvcache";
+  std::ofstream(garbage, std::ios::binary) << "not a cache file at all";
+  stats = rv::engine::load_cache_file(garbage, &cache);
+  EXPECT_EQ(stats.bad_files, 1u);
+  EXPECT_EQ(stats.loaded, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CacheStoreFile, RejectsFilesFromAnotherEngineEpoch) {
+  // Outcomes persisted by a different engine generation must not
+  // replay as current results: a flipped epoch field makes the whole
+  // file a bad_file (recomputed on the next run), not a cache hit.
+  Scratch scratch;
+  ScenarioCache cache;
+  populate(small_all_family_set(), &cache);
+  const fs::path path = scratch.path / "epoch.rvcache";
+  rv::engine::save_cache_file(path, cache);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  bytes[8] = static_cast<char>(bytes[8] ^ 0xFF);  // epoch lives at offset 8
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+
+  ScenarioCache loaded;
+  const CacheLoadStats stats = rv::engine::load_cache_file(path, &loaded);
+  EXPECT_EQ(stats.bad_files, 1u);
+  EXPECT_EQ(stats.loaded, 0u);
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(CacheStoreFile, TruncatedFileLoadsThePrefixAndNeverCrashes) {
+  Scratch scratch;
+  ScenarioCache cache;
+  populate(small_all_family_set(), &cache);
+  const fs::path path = scratch.path / "full.rvcache";
+  rv::engine::save_cache_file(path, cache);
+  const auto full_size = fs::file_size(path);
+
+  // Chop the file at every suffix length down to below the header: the
+  // loader must never crash and never load more than it can verify.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_EQ(bytes.size(), full_size);
+  for (const std::size_t keep :
+       {full_size - 3, full_size / 2, full_size / 4, std::size_t{13},
+        std::size_t{9}, std::size_t{3}}) {
+    const fs::path cut = scratch.path / "cut.rvcache";
+    std::ofstream(cut, std::ios::binary) << bytes.substr(0, keep);
+    ScenarioCache partial;
+    const CacheLoadStats stats = rv::engine::load_cache_file(cut, &partial);
+    if (keep < 12) {  // header: 8-byte magic + u32 engine epoch
+      EXPECT_EQ(stats.bad_files, 1u) << "keep=" << keep;
+    } else {
+      EXPECT_LE(partial.size(), cache.size()) << "keep=" << keep;
+      if (keep < full_size) EXPECT_GE(stats.skipped, 1u) << "keep=" << keep;
+    }
+  }
+}
+
+TEST(CacheStoreFile, CorruptRecordIsSkippedNeighboursSurvive) {
+  Scratch scratch;
+  ScenarioCache cache;
+  populate(small_all_family_set(), &cache);
+  const fs::path path = scratch.path / "flip.rvcache";
+  rv::engine::save_cache_file(path, cache);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  // Flip one byte in the middle of the second record's body (past the
+  // header and first record): its checksum fails, the reader resyncs,
+  // and every other record still loads.
+  const std::size_t target = bytes.size() / 2;
+  bytes[target] = static_cast<char>(bytes[target] ^ 0x5A);
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+
+  ScenarioCache damaged;
+  const CacheLoadStats stats = rv::engine::load_cache_file(path, &damaged);
+  EXPECT_GE(stats.skipped, 1u);
+  EXPECT_GE(stats.loaded, cache.size() - 2);
+  EXPECT_LT(stats.loaded, cache.size());
+}
+
+TEST(CacheStoreFile, MergeUnionsInputsFirstWriterWins) {
+  Scratch scratch;
+  // Two overlapping caches: {all 5 families} and {search only, but a
+  // different cell}.
+  ScenarioCache a;
+  populate(small_all_family_set(), &a);
+
+  rv::engine::ScenarioSet extra;
+  rv::engine::SearchCell other;
+  other.angles = 2;
+  other.distance = 2.0;
+  other.visibility = 0.5;
+  other.max_time = 1e3;
+  extra.add_search(other);
+  ScenarioCache b;
+  populate(small_all_family_set(), &b);  // duplicates of a
+  populate(extra, &b);                   // plus one new key
+
+  const fs::path file_a = scratch.path / "a.rvcache";
+  const fs::path file_b = scratch.path / "b.rvcache";
+  const fs::path merged = scratch.path / "merged.rvcache";
+  rv::engine::save_cache_file(file_a, a);
+  rv::engine::save_cache_file(file_b, b);
+
+  const CacheLoadStats stats =
+      rv::engine::merge_cache_files({file_a, file_b}, merged);
+  EXPECT_EQ(stats.files, 2u);
+  EXPECT_EQ(stats.loaded, 6u);      // 5 from a + 1 new from b
+  EXPECT_EQ(stats.duplicates, 5u);  // b's copies of a's keys
+
+  ScenarioCache out;
+  const CacheLoadStats merged_stats =
+      rv::engine::load_cache_file(merged, &out);
+  EXPECT_EQ(merged_stats.loaded, 6u);
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(CacheStoreDir, LoadsEveryCacheFileInNameOrder) {
+  Scratch scratch;
+  ScenarioCache cache;
+  populate(small_all_family_set(), &cache);
+  rv::engine::save_cache_file(scratch.path / "shard-0.rvcache", cache);
+  rv::engine::save_cache_file(scratch.path / "shard-1.rvcache", cache);
+  std::ofstream(scratch.path / "notes.txt") << "ignored";
+
+  ScenarioCache loaded;
+  const CacheLoadStats stats =
+      rv::engine::load_cache_dir(scratch.path, &loaded);
+  EXPECT_EQ(stats.files, 2u);
+  EXPECT_EQ(stats.loaded, 5u);
+  EXPECT_EQ(stats.duplicates, 5u);
+  EXPECT_EQ(loaded.size(), 5u);
+
+  // A missing directory is simply empty.
+  ScenarioCache empty;
+  const CacheLoadStats none =
+      rv::engine::load_cache_dir(scratch.path / "absent", &empty);
+  EXPECT_EQ(none.files, 0u);
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Process-level golden pins for the rv_batch front-end — the
+// acceptance harness of the sharded engine:
+//
+//  * the single-process CSV of every built-in set is pinned byte for
+//    byte under tests/golden/rv_batch/;
+//  * running the same set as 2 and as 3 shard *processes*, persisting
+//    each shard's outcomes to a cache file and merging, must reproduce
+//    those exact bytes (all cache hits, nothing recomputed);
+//  * a cold-cache run followed by a warm-cache run must report
+//    all-hits (enforced in-process by --require-all-hits) and emit
+//    identical bytes;
+//  * the fork-based `--procs P` local mode must match too.
+//
+// Regenerate intentionally changed pins with RV_UPDATE_GOLDEN=1 (see
+// golden.hpp); the built-in set declarations live in
+// tools/rv_batch_sets.hpp and are part of the pinned surface.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+#include "golden.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace golden = rv::golden;
+
+/// Directory holding the built binaries (the build tree root).
+fs::path build_dir() {
+#ifdef RV_BENCH_DIR
+  return fs::path(RV_BENCH_DIR);
+#else
+  return fs::current_path();
+#endif
+}
+
+fs::path rv_batch_binary() { return build_dir() / "rv_batch"; }
+
+/// Runs `cmd` through the shell, returning captured stdout; fails the
+/// test (and returns nullopt) on spawn failure or non-zero exit.
+std::optional<std::string> run_and_capture(const std::string& cmd) {
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << cmd;
+    return std::nullopt;
+  }
+  std::string out;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = fread(buffer, 1, sizeof buffer, pipe)) > 0) out.append(buffer, n);
+  const int status = pclose(pipe);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    ADD_FAILURE() << "command failed (status " << status << "): " << cmd;
+    return std::nullopt;
+  }
+  return out;
+}
+
+/// Scratch directory removed on every exit path.
+struct Scratch {
+  fs::path path;
+  Scratch() {
+    std::string buffer =
+        (fs::temp_directory_path() / "rv_golden_batch_XXXXXX").string();
+    EXPECT_NE(mkdtemp(buffer.data()), nullptr) << "mkdtemp failed";
+    path = buffer;
+  }
+  ~Scratch() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+std::string batch_cmd(const std::string& args) {
+  return "'" + rv_batch_binary().string() + "' " + args;
+}
+
+class GoldenBatchSet : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (!fs::exists(rv_batch_binary())) {
+      GTEST_SKIP() << rv_batch_binary()
+                   << " not built (RV_BUILD_TOOLS=OFF?)";
+    }
+  }
+};
+
+TEST_P(GoldenBatchSet, SingleProcessCsvMatchesPin) {
+  const std::string set = GetParam();
+  const auto out = run_and_capture(batch_cmd("run --set " + set));
+  if (out.has_value()) {
+    golden::compare(*out, "rv_batch/" + set + ".csv");
+  }
+}
+
+TEST_P(GoldenBatchSet, ShardedProcessesMergeToTheExactSingleProcessBytes) {
+  const std::string set = GetParam();
+  const auto single = run_and_capture(batch_cmd("run --set " + set));
+  ASSERT_TRUE(single.has_value());
+
+  for (const int num_shards : {2, 3}) {
+    Scratch scratch;
+    const std::string dir = (scratch.path / "cache").string();
+    for (int s = 0; s < num_shards; ++s) {
+      // Each shard is its own process; its stdout (the partial
+      // document) is irrelevant here — only the persisted cache file
+      // crosses the process boundary.
+      const auto shard_out = run_and_capture(
+          batch_cmd("run --set " + set + " --shard " + std::to_string(s) +
+                    "/" + std::to_string(num_shards) + " --cache-dir '" +
+                    dir + "' >/dev/null && echo ok"));
+      ASSERT_TRUE(shard_out.has_value()) << "shard " << s;
+    }
+    // The merge process replays every outcome from the shard files:
+    // --require-all-hits turns any recomputation into a hard failure.
+    const auto merged = run_and_capture(batch_cmd(
+        "merge --set " + set + " --cache-dir '" + dir +
+        "' --require-all-hits"));
+    ASSERT_TRUE(merged.has_value()) << num_shards << " shards";
+    EXPECT_EQ(*merged, *single)
+        << set << " split over " << num_shards
+        << " processes must merge to the single-process bytes";
+  }
+}
+
+TEST_P(GoldenBatchSet, ColdThenWarmCacheRunsAreAllHitsAndIdentical) {
+  const std::string set = GetParam();
+  Scratch scratch;
+  const std::string dir = (scratch.path / "cache").string();
+  const auto cold = run_and_capture(
+      batch_cmd("run --set " + set + " --cache-dir '" + dir + "'"));
+  // The warm run must replay every outcome from the persisted file —
+  // --require-all-hits makes a miss a non-zero exit, which
+  // run_and_capture reports as a failure.
+  const auto warm = run_and_capture(
+      batch_cmd("run --set " + set + " --cache-dir '" + dir +
+                "' --require-all-hits"));
+  ASSERT_TRUE(cold.has_value());
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(*cold, *warm) << "warm-cache bytes drifted for " << set;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BuiltinSets, GoldenBatchSet,
+    ::testing::Values("rendezvous-grid", "search-ring", "gather-fleet",
+                      "linear-line", "coverage-disk"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(GoldenBatch, ForkedProcsModeMatchesSingleProcessBytes) {
+  if (!fs::exists(rv_batch_binary())) {
+    GTEST_SKIP() << rv_batch_binary() << " not built";
+  }
+  const std::string set = "search-ring";
+  const auto single = run_and_capture(batch_cmd("run --set " + set));
+  Scratch scratch;
+  const auto forked = run_and_capture(
+      batch_cmd("run --set " + set + " --procs 2 --cache-dir '" +
+                (scratch.path / "cache").string() + "' --require-all-hits"));
+  ASSERT_TRUE(single.has_value());
+  ASSERT_TRUE(forked.has_value());
+  EXPECT_EQ(*forked, *single);
+}
+
+TEST(GoldenBatch, ListedSetsArePinned) {
+  if (!fs::exists(rv_batch_binary())) {
+    GTEST_SKIP() << rv_batch_binary() << " not built";
+  }
+  const auto out = run_and_capture(batch_cmd("list"));
+  if (out.has_value()) golden::compare(*out, "rv_batch/list.txt");
+}
+
+TEST(GoldenBatch, JsonEmissionMatchesPin) {
+  if (!fs::exists(rv_batch_binary())) {
+    GTEST_SKIP() << rv_batch_binary() << " not built";
+  }
+  const auto out =
+      run_and_capture(batch_cmd("run --set linear-line --format json"));
+  if (out.has_value()) golden::compare(*out, "rv_batch/linear-line.json");
+}
+
+}  // namespace

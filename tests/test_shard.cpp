@@ -1,0 +1,234 @@
+// Tests for deterministic process sharding (engine/shard): plan
+// properties, merge validation, and the load-bearing invariant — a
+// sharded run merged by global index emits table/CSV/JSON
+// byte-identical to the single-process run, for every family and any
+// shard count.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/runner.hpp"
+#include "engine/scenario_set.hpp"
+#include "engine/shard.hpp"
+
+namespace {
+
+using rv::engine::Family;
+using rv::engine::ResultSet;
+using rv::engine::RunnerOptions;
+using rv::engine::ScenarioCache;
+using rv::engine::ScenarioSet;
+using rv::engine::ShardPlan;
+using rv::engine::ShardResult;
+using rv::engine::WorkItem;
+
+TEST(ShardPlanTest, PartitionsIndicesByStride) {
+  const ShardPlan plan = rv::engine::shard_plan(10, 1, 3);
+  EXPECT_EQ(plan.shard, 1u);
+  EXPECT_EQ(plan.num_shards, 3u);
+  EXPECT_EQ(plan.total, 10u);
+  EXPECT_EQ(plan.indices, (std::vector<std::size_t>{1, 4, 7}));
+}
+
+TEST(ShardPlanTest, ShardsAreDisjointAndCoverEverything) {
+  for (const std::size_t num_shards : {1u, 2u, 3u, 7u, 13u}) {
+    std::set<std::size_t> seen;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      for (const std::size_t i :
+           rv::engine::shard_plan(11, s, num_shards).indices) {
+        EXPECT_TRUE(seen.insert(i).second)
+            << "index " << i << " in two shards";
+      }
+    }
+    EXPECT_EQ(seen.size(), 11u) << num_shards << " shards";
+  }
+}
+
+TEST(ShardPlanTest, MoreShardsThanItemsLeavesTrailingShardsEmpty) {
+  EXPECT_EQ(rv::engine::shard_plan(2, 0, 5).indices.size(), 1u);
+  EXPECT_EQ(rv::engine::shard_plan(2, 1, 5).indices.size(), 1u);
+  EXPECT_TRUE(rv::engine::shard_plan(2, 4, 5).indices.empty());
+  EXPECT_TRUE(rv::engine::shard_plan(0, 0, 1).indices.empty());
+}
+
+TEST(ShardPlanTest, RejectsInvalidPartitions) {
+  EXPECT_THROW((void)rv::engine::shard_plan(4, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)rv::engine::shard_plan(4, 2, 2), std::invalid_argument);
+}
+
+TEST(ShardWorkTest, RejectsMismatchedWorkList) {
+  ScenarioSet set;
+  rv::rendezvous::Scenario scenario;
+  scenario.max_time = 100.0;
+  set.add(scenario);
+  const std::vector<WorkItem> work = set.materialize_work();
+  const ShardPlan plan = rv::engine::shard_plan(5, 0, 2);  // wrong total
+  EXPECT_THROW((void)rv::engine::shard_work(work, plan),
+               std::invalid_argument);
+}
+
+/// One small set per family (fast cells, deterministic outputs).
+ScenarioSet family_set(Family family) {
+  ScenarioSet set;
+  switch (family) {
+    case Family::kRendezvous: {
+      rv::rendezvous::Scenario base;
+      base.visibility = 0.25;
+      base.max_time = 1e3;
+      set.base(base).speeds({1.0, 1.5, 2.0}).time_units({1.0, 0.5}).distances(
+          {1.0});
+      break;
+    }
+    case Family::kSearch: {
+      rv::engine::SearchCell base;
+      base.angles = 3;
+      base.visibility = 0.25;
+      base.max_time = 1e3;
+      set.search_base(base).search_distances({0.5, 1.0, 2.0});
+      break;
+    }
+    case Family::kGather: {
+      for (const double speed : {1.5, 2.0, 2.5}) {
+        rv::engine::GatherCell cell;
+        rv::geom::RobotAttributes fast = rv::geom::reference_attributes();
+        fast.speed = speed;
+        cell.fleet = {rv::geom::reference_attributes(), fast};
+        cell.visibility = 0.2;
+        cell.contact_max_time = 1e3;
+        cell.gather_max_time = 1e3;
+        set.add_gather(cell, "fleet v=" + std::to_string(speed));
+      }
+      break;
+    }
+    case Family::kLinear: {
+      rv::engine::LinearCell base;
+      base.mode = rv::engine::LinearMode::kZigZagSearch;
+      base.visibility = 0.01;
+      base.max_time = 1e3;
+      set.linear_base(base).linear_distances({0.5, 1.0, 2.0, 4.0});
+      break;
+    }
+    case Family::kCoverage: {
+      rv::engine::CoverageCell base;
+      base.disk_radius = 0.5;
+      base.visibility = 0.1;
+      base.cell = 0.05;
+      base.checkpoints = 4;
+      base.horizon = 50.0;
+      set.coverage_base(base).coverage_programs(
+          {rv::engine::SearchProgram::kAlgorithm4,
+           rv::engine::SearchProgram::kConcentric,
+           rv::engine::SearchProgram::kSquareSpiral});
+      break;
+    }
+  }
+  return set;
+}
+
+class ShardedRunPerFamily : public ::testing::TestWithParam<Family> {};
+
+TEST_P(ShardedRunPerFamily, MergedOutputMatchesSingleProcessByteForByte) {
+  const ScenarioSet set = family_set(GetParam());
+  RunnerOptions options;
+  options.threads = 1;
+  const ResultSet single = rv::engine::run_scenarios(set, options);
+  ASSERT_GT(single.size(), 0u);
+  const std::string csv = single.to_csv();
+  const std::string json = single.to_json();
+  const std::string table = [&] {
+    std::ostringstream os;
+    single.to_table().print(os);
+    return os.str();
+  }();
+
+  for (const std::size_t num_shards : {1u, 2u, 3u, 5u}) {
+    const ResultSet merged = rv::engine::run_sharded(set, num_shards, options);
+    EXPECT_EQ(merged.to_csv(), csv) << num_shards << " shards";
+    EXPECT_EQ(merged.to_json(), json) << num_shards << " shards";
+    std::ostringstream os;
+    merged.to_table().print(os);
+    EXPECT_EQ(os.str(), table) << num_shards << " shards";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ShardedRunPerFamily,
+                         ::testing::Values(Family::kRendezvous,
+                                           Family::kSearch, Family::kGather,
+                                           Family::kLinear,
+                                           Family::kCoverage),
+                         [](const ::testing::TestParamInfo<Family>& info) {
+                           return rv::engine::family_name(info.param);
+                         });
+
+TEST(MergeShardsTest, RejectsIncompleteAndInconsistentMerges) {
+  const ScenarioSet set = family_set(Family::kLinear);
+  const std::vector<WorkItem> work = set.materialize_work();
+  RunnerOptions options;
+  options.threads = 1;
+
+  ShardResult shard0{rv::engine::shard_plan(work.size(), 0, 2), ResultSet{}};
+  shard0.results = rv::engine::run_shard(work, shard0.plan, options);
+  ShardResult shard1{rv::engine::shard_plan(work.size(), 1, 2), ResultSet{}};
+  shard1.results = rv::engine::run_shard(work, shard1.plan, options);
+
+  // A full merge works...
+  const ResultSet merged = rv::engine::merge_shards({shard0, shard1});
+  EXPECT_EQ(merged.size(), work.size());
+  // ...but a missing shard, a duplicated shard, or mismatched plans
+  // are loud errors, not silently wrong output.
+  EXPECT_THROW((void)rv::engine::merge_shards({shard0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)rv::engine::merge_shards({shard0, shard0}),
+               std::invalid_argument);
+  ShardResult bad = shard1;
+  bad.plan.total = work.size() + 1;
+  EXPECT_THROW((void)rv::engine::merge_shards({shard0, bad}),
+               std::invalid_argument);
+}
+
+TEST(MergeShardsTest, EmptyMergeIsEmpty) {
+  const ResultSet merged = rv::engine::merge_shards({});
+  EXPECT_TRUE(merged.empty());
+}
+
+TEST(MergeShardsTest, RunShardedRejectsZeroShards) {
+  EXPECT_THROW((void)rv::engine::run_sharded(family_set(Family::kLinear), 0),
+               std::invalid_argument);
+}
+
+TEST(ShardCacheTest, ShardsSharingACacheReplayDuplicateCells) {
+  // Two shards over a set whose cells repeat: with one shared cache the
+  // second occurrence of each cell replays instead of recomputing, and
+  // the merged output is unchanged.
+  ScenarioSet set;
+  rv::engine::LinearCell cell;
+  cell.mode = rv::engine::LinearMode::kZigZagSearch;
+  cell.visibility = 0.01;
+  cell.max_time = 1e3;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    for (const double d : {1.0, 2.0}) {
+      cell.target = d;
+      set.add_linear(cell);
+    }
+  }
+
+  RunnerOptions plain;
+  plain.threads = 1;
+  const std::string want = rv::engine::run_scenarios(set, plain).to_csv();
+
+  ScenarioCache cache;
+  RunnerOptions cached = plain;
+  cached.cache = &cache;
+  const ResultSet merged = rv::engine::run_sharded(set, 2, cached);
+  EXPECT_EQ(merged.to_csv(), want);
+  EXPECT_EQ(merged.cache_stats().hits + merged.cache_stats().misses, 4u);
+  EXPECT_EQ(merged.cache_stats().misses, 2u);  // two distinct cells
+  EXPECT_EQ(merged.cache_stats().hits, 2u);    // two replays
+}
+
+}  // namespace

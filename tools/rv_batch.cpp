@@ -1,0 +1,425 @@
+// rv_batch — the batch/sharded front-end of the scenario engine.
+//
+// The first step toward the ROADMAP's "millions of scenario requests"
+// service: run a named scenario set whole, as one deterministic shard
+// of an N-way partition, or forked across P local worker processes;
+// persist every computed outcome to an on-disk ScenarioCache
+// (engine/cache_store.hpp); and merge shard cache files back into the
+// byte-identical single-process CSV/JSON.  The contract throughout is
+// the engine's: results are placed by stable work-item index and cached
+// outcomes replay bit-for-bit, so ANY partition of the grid — threads,
+// processes, machines — reproduces the same output bytes (pinned in
+// tests/test_golden_shard.cpp and diffed for real in CI).
+//
+//   rv_batch list
+//   rv_batch run   --set NAME [--shard I/N] [--cache-dir DIR]
+//                  [--procs P] [--threads T] [--format csv|json|table]
+//                  [--out FILE] [--require-all-hits]
+//   rv_batch merge --set NAME --cache-dir DIR [--format ...] [--out FILE]
+//                  [--require-all-hits] [--write-merged]
+//   rv_batch cache-stats --cache-dir DIR
+//
+// The result document goes to stdout (or --out); diagnostics go to
+// stderr.  Exit codes: 0 success, 1 usage error, 2 execution failure,
+// 3 --require-all-hits violation.
+
+#include <unistd.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/cache_store.hpp"
+#include "engine/runner.hpp"
+#include "engine/shard.hpp"
+#include "io/args.hpp"
+#include "rv_batch_sets.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using rv::engine::CacheLoadStats;
+using rv::engine::ResultSet;
+using rv::engine::ScenarioCache;
+using rv::engine::ShardPlan;
+using rv::engine::WorkItem;
+
+constexpr int kExitUsage = 1;
+constexpr int kExitFailure = 2;
+constexpr int kExitMissedHits = 3;
+
+struct ShardSpec {
+  std::size_t shard = 0;
+  std::size_t num_shards = 1;
+};
+
+/// Parses "I/N" (e.g. "0/4").  \throws std::invalid_argument on
+/// malformed input; range checking is left to shard_plan.
+ShardSpec parse_shard(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  std::size_t shard_end = 0, total_end = 0;
+  ShardSpec spec;
+  try {
+    if (slash == std::string::npos) throw std::invalid_argument(text);
+    spec.shard = std::stoul(text.substr(0, slash), &shard_end);
+    spec.num_shards = std::stoul(text.substr(slash + 1), &total_end);
+    if (shard_end != slash || total_end != text.size() - slash - 1) {
+      throw std::invalid_argument(text);
+    }
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--shard expects I/N (e.g. 0/4), got '" +
+                                text + "'");
+  }
+  return spec;
+}
+
+/// Renders the set in the requested format.
+std::string render(const ResultSet& results, const std::string& format) {
+  if (format == "csv") return results.to_csv();
+  if (format == "json") return results.to_json();
+  if (format == "table") {
+    std::ostringstream os;
+    results.to_table().print(os);
+    return os.str();
+  }
+  throw std::invalid_argument("--format must be csv, json or table, got '" +
+                              format + "'");
+}
+
+/// Writes the document to --out, or stdout when --out is empty.
+void emit(const std::string& document, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::cout << document;
+    std::cout.flush();
+    return;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << document;
+  out.flush();  // surface deferred write errors before the state check
+  if (!out) {
+    throw std::runtime_error("cannot write --out file " + out_path);
+  }
+}
+
+void print_load_stats(const char* verb, const CacheLoadStats& stats) {
+  std::cerr << "rv_batch: " << verb << " " << stats.loaded
+            << " cached outcomes from " << stats.files << " file(s)";
+  if (stats.duplicates > 0) {
+    std::cerr << " (" << stats.duplicates << " duplicate keys)";
+  }
+  if (stats.skipped > 0) {
+    std::cerr << " (" << stats.skipped << " corrupt record region(s) skipped)";
+  }
+  if (stats.bad_files > 0) {
+    std::cerr << " (" << stats.bad_files << " unreadable file(s))";
+  }
+  std::cerr << "\n";
+}
+
+void print_run_stats(const std::string& set_name, std::size_t items,
+                     const rv::engine::CacheStats& stats) {
+  std::cerr << "rv_batch: set=" << set_name << " items=" << items
+            << " cache hits=" << stats.hits << " misses=" << stats.misses
+            << " uncacheable=" << stats.uncacheable << "\n";
+}
+
+/// Enforces --require-all-hits: every item must have replayed from the
+/// cache.  Returns the process exit code (0 when satisfied).
+int check_all_hits(bool required, const rv::engine::CacheStats& stats) {
+  if (!required) return 0;
+  if (stats.misses == 0 && stats.uncacheable == 0) return 0;
+  std::cerr << "rv_batch: --require-all-hits violated (" << stats.misses
+            << " misses, " << stats.uncacheable << " uncacheable)\n";
+  return kExitMissedHits;
+}
+
+/// The cache file a shard persists its outcomes to.  Set-qualified so
+/// different sets can share one cache directory without clobbering
+/// each other's files.
+fs::path shard_cache_path(const fs::path& dir, const std::string& set_name,
+                          const ShardSpec& spec) {
+  return dir / (set_name + "-shard-" + std::to_string(spec.shard) + "-of-" +
+                std::to_string(spec.num_shards) +
+                rv::engine::kCacheFileExtension);
+}
+
+/// Runs one shard (or, with num_shards == 1, the whole set): warm-loads
+/// the cache directory if given (unless `preloaded` already holds it —
+/// the fork mode loads once in the parent), executes the plan,
+/// persists the cache back, and returns the executed slice.
+ResultSet run_one_shard(const std::vector<WorkItem>& work,
+                        const std::string& set_name, const ShardSpec& spec,
+                        unsigned threads, const fs::path& cache_dir,
+                        ScenarioCache* preloaded = nullptr) {
+  ScenarioCache local;
+  ScenarioCache* cache = preloaded != nullptr ? preloaded : &local;
+  if (preloaded == nullptr && !cache_dir.empty()) {
+    print_load_stats("loaded", rv::engine::load_cache_dir(cache_dir, cache));
+  }
+  const ShardPlan plan =
+      rv::engine::shard_plan(work.size(), spec.shard, spec.num_shards);
+  rv::engine::RunnerOptions options;
+  options.threads = threads;
+  options.cache = cache;
+  ResultSet results = rv::engine::run_shard(work, plan, options);
+  const fs::path shard_file =
+      cache_dir.empty() ? fs::path{}
+                        : shard_cache_path(cache_dir, set_name, spec);
+  if (!cache_dir.empty() && results.cache_stats().misses == 0 &&
+      fs::exists(shard_file)) {
+    // Pure replay: nothing new was computed and the shard file already
+    // exists, so rewriting it would produce the same bytes.
+    std::cerr << "rv_batch: " << shard_file << " unchanged (all hits)\n";
+  } else if (!cache_dir.empty()) {
+    // Persist only the outcomes this shard *owns*: warm-loaded entries
+    // stay in the files they came from, so a shared cache directory
+    // grows linearly in the sweep size however many shards run
+    // through it sequentially.
+    ScenarioCache own;
+    for (const std::size_t i : plan.indices) {
+      const std::optional<std::string> key = rv::engine::cache_key(work[i]);
+      ScenarioCache::Entry entry;
+      if (key.has_value() && cache->lookup(*key, &entry)) {
+        own.store(*key, std::move(entry));
+      }
+    }
+    rv::engine::save_cache_file(shard_file, own);
+    std::cerr << "rv_batch: wrote " << own.size() << " outcomes to "
+              << shard_file << "\n";
+  }
+  return results;
+}
+
+/// `run --procs P`: forks P children, each executing shard p/P with the
+/// shared cache directory, then replays the merged cache into the full
+/// set in this process.  \returns the final results (all hits).
+ResultSet run_forked(const std::vector<WorkItem>& work,
+                     const std::string& set_name, std::size_t procs,
+                     unsigned threads, const fs::path& cache_dir) {
+  // Warm-load the directory once, before forking: the children inherit
+  // the populated cache copy-on-write instead of each re-parsing every
+  // file.
+  ScenarioCache warm;
+  print_load_stats("loaded", rv::engine::load_cache_dir(cache_dir, &warm));
+  // Split the thread budget across the workers: P children each
+  // defaulting to hardware concurrency would oversubscribe the box
+  // P-fold.  An explicit --threads T is taken as the per-process
+  // budget the operator asked for and left alone.
+  unsigned child_threads = threads;
+  if (child_threads == 0) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    child_threads = std::max(1u, hw / static_cast<unsigned>(procs));
+  }
+  std::vector<pid_t> children;
+  children.reserve(procs);
+  for (std::size_t p = 0; p < procs; ++p) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      // Reap the shards already spawned before giving up, so no orphan
+      // keeps writing into the cache directory after we exit.
+      for (const pid_t child : children) waitpid(child, nullptr, 0);
+      throw std::runtime_error("fork failed");
+    }
+    if (pid == 0) {
+      // Child: compute shard p, persist its cache file, and leave
+      // without touching stdout or running parent cleanup.
+      int status = 0;
+      try {
+        (void)run_one_shard(work, set_name, {p, procs}, child_threads,
+                            cache_dir, &warm);
+      } catch (const std::exception& e) {
+        std::cerr << "rv_batch[shard " << p << "/" << procs
+                  << "]: " << e.what() << "\n";
+        status = kExitFailure;
+      }
+      std::cerr.flush();
+      _exit(status);
+    }
+    children.push_back(pid);
+  }
+  bool failed = false;
+  for (const pid_t pid : children) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      failed = true;
+    }
+  }
+  if (failed) {
+    throw std::runtime_error("a shard worker process failed");
+  }
+  // Merge: replay every persisted outcome into the full set.  All
+  // cacheable items hit, so this recomputes nothing and reproduces the
+  // single-process bytes.
+  ScenarioCache cache;
+  print_load_stats("merged", rv::engine::load_cache_dir(cache_dir, &cache));
+  rv::engine::RunnerOptions options;
+  options.threads = threads;
+  options.cache = &cache;
+  return rv::engine::run_scenarios(work, options);
+}
+
+int cmd_list() {
+  for (const rv::batch::BuiltinSet& set : rv::batch::builtin_sets()) {
+    const std::size_t items = set.build().materialize_work().size();
+    std::cout << set.name << "  (" << items << " items)  " << set.description
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_run(rv::io::Args& args) {
+  const std::string set_name = args.get("set");
+  const rv::engine::ScenarioSet set = rv::batch::build_builtin_set(set_name);
+  const std::vector<WorkItem> work = set.materialize_work();
+  const unsigned threads = static_cast<unsigned>(args.get_int("threads"));
+  const fs::path cache_dir = args.get("cache-dir");
+  const std::string shard_text = args.get("shard");
+  const int procs = args.get_int("procs");
+  if (procs < 1) {
+    throw std::invalid_argument("--procs must be >= 1, got " +
+                                std::to_string(procs));
+  }
+
+  ResultSet results;
+  rv::engine::CacheStats stats;
+  if (procs > 1) {
+    if (!shard_text.empty()) {
+      throw std::invalid_argument("--procs and --shard are exclusive");
+    }
+    if (cache_dir.empty()) {
+      throw std::invalid_argument(
+          "--procs needs --cache-dir (the shard hand-off point)");
+    }
+    fs::create_directories(cache_dir);
+    results = run_forked(work, set_name, static_cast<std::size_t>(procs),
+                         threads, cache_dir);
+    stats = results.cache_stats();
+  } else {
+    const ShardSpec spec =
+        shard_text.empty() ? ShardSpec{} : parse_shard(shard_text);
+    if (!cache_dir.empty()) fs::create_directories(cache_dir);
+    results = run_one_shard(work, set_name, spec, threads, cache_dir);
+    stats = results.cache_stats();
+  }
+  print_run_stats(set_name, results.size(), stats);
+  emit(render(results, args.get("format")), args.get("out"));
+  return check_all_hits(args.get_bool("require-all-hits"), stats);
+}
+
+int cmd_merge(rv::io::Args& args) {
+  const std::string set_name = args.get("set");
+  const fs::path cache_dir = args.get("cache-dir");
+  if (cache_dir.empty()) {
+    throw std::invalid_argument("merge needs --cache-dir");
+  }
+  const rv::engine::ScenarioSet set = rv::batch::build_builtin_set(set_name);
+  ScenarioCache cache;
+  print_load_stats("merged", rv::engine::load_cache_dir(cache_dir, &cache));
+  rv::engine::RunnerOptions options;
+  options.threads = static_cast<unsigned>(args.get_int("threads"));
+  options.cache = &cache;
+  const ResultSet results = rv::engine::run_scenarios(set, options);
+  print_run_stats(set_name, results.size(), results.cache_stats());
+  if (args.get_bool("write-merged")) {
+    const fs::path merged =
+        cache_dir /
+        (set_name + "-merged" + rv::engine::kCacheFileExtension);
+    rv::engine::save_cache_file(merged, cache);
+    std::cerr << "rv_batch: wrote " << cache.size() << " outcomes to "
+              << merged << "\n";
+  }
+  emit(render(results, args.get("format")), args.get("out"));
+  return check_all_hits(args.get_bool("require-all-hits"),
+                        results.cache_stats());
+}
+
+int cmd_cache_stats(rv::io::Args& args) {
+  const fs::path cache_dir = args.get("cache-dir");
+  if (cache_dir.empty()) {
+    throw std::invalid_argument("cache-stats needs --cache-dir");
+  }
+  const std::vector<fs::path> files =
+      rv::engine::list_cache_files(cache_dir);
+  // Loading sequentially into one cache makes `new` vs `duplicate`
+  // meaningful across files: later files only contribute keys the
+  // earlier ones did not.
+  std::error_code ec;
+  ScenarioCache cache;
+  for (const fs::path& file : files) {
+    const CacheLoadStats stats = rv::engine::load_cache_file(file, &cache);
+    std::cout << file.filename().string() << ": new=" << stats.loaded
+              << " duplicate=" << stats.duplicates
+              << " corrupt-regions=" << stats.skipped
+              << " bytes=" << fs::file_size(file, ec) << "\n";
+  }
+  std::cout << "total: files=" << files.size()
+            << " distinct-keys=" << cache.size() << "\n";
+  return 0;
+}
+
+void usage(std::ostream& os) {
+  os << "usage: rv_batch <list|run|merge|cache-stats> [flags]\n"
+     << "  list                      show the built-in scenario sets\n"
+     << "  run   --set NAME          run a set (optionally one shard of it)\n"
+     << "        [--shard I/N] [--procs P] [--cache-dir DIR] [--threads T]\n"
+     << "        [--format csv|json|table] [--out FILE] [--require-all-hits]\n"
+     << "  merge --set NAME --cache-dir DIR   replay shard caches into the\n"
+     << "        single-process document      [--write-merged] [...run flags]\n"
+     << "  cache-stats --cache-dir DIR        describe the cache files\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(std::cerr);
+    return kExitUsage;
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "help") {
+    usage(std::cout);
+    return 0;
+  }
+  rv::io::Args args;
+  args.declare("set", "", "built-in scenario set name (see: rv_batch list)");
+  args.declare("shard", "", "run only shard I of N, as I/N");
+  args.declare_int("procs", 1, "fork P local shard processes, then merge");
+  args.declare_int("threads", 0, "worker threads per process (0 = hardware)");
+  args.declare("cache-dir", "", "directory of persistent *.rvcache files");
+  args.declare("format", "csv", "output format: csv, json or table");
+  args.declare("out", "", "write the document here instead of stdout");
+  args.declare_bool("require-all-hits",
+                    "fail (exit 3) unless every item replayed from cache");
+  args.declare_bool("write-merged",
+                    "merge: also write the union as merged.rvcache");
+  try {
+    args.parse(argc - 1, argv + 1);
+    if (args.help_requested()) {
+      usage(std::cout);
+      return 0;
+    }
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(args);
+    if (command == "merge") return cmd_merge(args);
+    if (command == "cache-stats") return cmd_cache_stats(args);
+    std::cerr << "rv_batch: unknown command '" << command << "'\n";
+    usage(std::cerr);
+    return kExitUsage;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "rv_batch: " << e.what() << "\n";
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    std::cerr << "rv_batch: " << e.what() << "\n";
+    return kExitFailure;
+  }
+}

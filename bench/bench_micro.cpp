@@ -24,6 +24,7 @@
 #include "search/baselines.hpp"
 #include "search/emitter.hpp"
 #include "sim/simulator.hpp"
+#include "traj/batch.hpp"
 #include "traj/frame.hpp"
 
 namespace {
@@ -143,7 +144,9 @@ std::vector<Vec2> jittered_ring(int n) {
 // kernel; arc-heavy Algorithm 4 fleets spend the time in per-robot
 // trig.)
 void run_gather_sweep_bench(benchmark::State& state, int n,
-                            rv::engine::KernelChoice kernel) {
+                            rv::engine::KernelChoice kernel,
+                            rv::engine::SolverChoice solver =
+                                rv::engine::SolverChoice::kBisection) {
   const std::vector<Vec2> origins = jittered_ring(n);
   std::uint64_t evals = 0;
   for (auto _ : state) {
@@ -163,6 +166,7 @@ void run_gather_sweep_bench(benchmark::State& state, int n,
     opts.visibility = 0.95 * diam;
     opts.max_time = 100.0;
     opts.kernel = kernel;
+    opts.solver = solver;
     opts.max_evals = 2000;
     rv::engine::ContactSweep sweep(std::move(robots),
                                    rv::engine::SweepMetric::kMaxPairwise,
@@ -197,6 +201,60 @@ void BM_ContactSweepGatherBrute(benchmark::State& state) {
                          rv::engine::KernelChoice::kBruteForce);
 }
 BENCHMARK(BM_ContactSweepGatherBrute)->Arg(50)->Arg(100)->Arg(250);
+
+// Event solvers head to head on the same gather workload: the
+// Lipschitz stepper burns its eval budget inching toward the constant
+// diameter, while the analytic solver proves each window clear from
+// the extremal pair's closed-form model and jumps window to window —
+// the evals ratio is SweepResult::evals ≥ 5× (pinned by
+// tests/test_event_solver.cpp), and the wall-time ratio lands in
+// BENCH_engine.json per fleet size.
+void BM_EventSolverBisect(benchmark::State& state) {
+  run_gather_sweep_bench(state, static_cast<int>(state.range(0)),
+                         rv::engine::KernelChoice::kAuto,
+                         rv::engine::SolverChoice::kBisection);
+}
+void BM_EventSolverAnalytic(benchmark::State& state) {
+  run_gather_sweep_bench(state, static_cast<int>(state.range(0)),
+                         rv::engine::KernelChoice::kAuto,
+                         rv::engine::SolverChoice::kAnalytic);
+}
+BENCHMARK(BM_EventSolverBisect)->Arg(3)->Arg(10)->Arg(50)->Arg(250)->Arg(1000);
+BENCHMARK(BM_EventSolverAnalytic)
+    ->Arg(3)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(250)
+    ->Arg(1000);
+
+// The SoA batched position evaluator on the gather fleet's current
+// segments: one switch-driven pass over n robots per query versus the
+// per-robot variant dispatch it replaced inside the sweep.
+void BM_BatchedPositions(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<Vec2> origins = jittered_ring(n);
+  std::vector<rv::traj::TimedSegment> segs;
+  segs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rv::traj::GlobalSegmentStream stream(
+        rv::search::make_square_spiral_baseline(), RobotAttributes{},
+        origins[static_cast<std::size_t>(i)]);
+    segs.push_back(stream.next());
+  }
+  rv::traj::BatchedPositions batch;
+  batch.assemble(segs);
+  std::vector<Vec2> out(static_cast<std::size_t>(n));
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1e-4;
+    if (t > 1.0) t = 0.0;
+    batch.positions(t, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BatchedPositions)->Arg(3)->Arg(50)->Arg(250)->Arg(1000);
 
 // Metric kernels head to head on the jittered ring (the gather
 // family's layout): brute-force O(n²) vs grid closest-pair / calipers
@@ -289,6 +347,12 @@ int main(int argc, char** argv) {
   // library: shout about it on stderr and tag the JSON context so
   // BENCH_engine.json snapshots are self-describing (CI builds the
   // smoke with CMAKE_BUILD_TYPE=Release; see .github/workflows/ci.yml).
+  // Note on the stock "library_build_type" context field: it reports
+  // how the google-benchmark *library* was compiled (the system
+  // package often says "debug"), not this binary.  rv_optimized_build
+  // is the authoritative flag for whether the recorded timings
+  // measure optimized library code — tools/bench_diff gates on it
+  // (--require-optimized).
 #if defined(__OPTIMIZE__)
   benchmark::AddCustomContext("rv_optimized_build", "true");
 #else

@@ -24,6 +24,19 @@
 /// O(n²) loops, so step schedules and outputs are unchanged while
 /// 1000-robot fleets sweep in near-linear time per evaluation.
 ///
+/// How the sweep *advances* between evaluations is itself dispatched
+/// (engine/event_solver.hpp, `SweepOptions::solver`): the default
+/// bisection path steps and bisects as described above, while the
+/// analytic path models each active segment pair's squared distance in
+/// closed form per window (quadratics for line/wait pairs, certified
+/// derivative-bound brackets refined with mathx::brent for arc pairs)
+/// and jumps straight to the first candidate crossing — O(active
+/// windows) metric evaluations per sweep instead of
+/// O(steps·log(1/tol)).  Positions are evaluated through the SoA
+/// batched evaluator (traj/batch.hpp) on every path — one pass over
+/// the fleet's current segments, bitwise identical to the per-robot
+/// variant dispatch it replaces.
+///
 /// Tangential touches shallower than L·min_step can be passed over (a
 /// Zeno guard forces progress); all experiments in this repository
 /// involve transversal crossings, and `contact_tol` absorbs grazing
@@ -37,8 +50,10 @@
 #include <memory>
 #include <vector>
 
+#include "engine/event_solver.hpp"
 #include "engine/metric_kernel.hpp"
 #include "geom/attributes.hpp"
+#include "traj/batch.hpp"
 #include "traj/frame.hpp"
 #include "traj/program.hpp"
 
@@ -65,6 +80,17 @@ struct SweepOptions {
   /// engine/metric_kernel.hpp); kAuto cuts over from the brute-force
   /// loop to the near-linear geometric kernels at `kKernelCutover`.
   KernelChoice kernel = KernelChoice::kAuto;
+  /// Which event solver advances the sweep between evaluations (see
+  /// engine/event_solver.hpp).  The default `kBisection` is the
+  /// historical Lipschitz-step + bisection path, byte-identical to
+  /// every committed output — and the only solver the batch families
+  /// ever use, so cacheable outcomes (`engine::cache_key` does not key
+  /// the solver) are never produced by the analytic path.  `kAnalytic`
+  /// jumps by per-window pair models (closed-form quadratics, brent on
+  /// arcs), agreeing with the oracle to within the sweep tolerances
+  /// while performing O(active windows) metric evaluations instead of
+  /// O(steps·log(1/tol)).
+  SolverChoice solver = SolverChoice::kBisection;
 };
 
 /// Which pairwise statistic the sweep watches for the event metric ≤ r.
@@ -85,6 +111,11 @@ struct SweepResult {
   std::vector<geom::Vec2> positions;  ///< all robot positions at `time`
   std::uint64_t evals = 0;     ///< metric evaluations performed
   std::uint64_t segments = 0;  ///< timed segments consumed (all robots)
+  /// Single-pair model evaluations performed by the analytic solver
+  /// (closed-form solves and certified arc-search points); 0 on the
+  /// bisection path.  Each costs O(1) versus O(n)–O(n²) for a metric
+  /// evaluation counted in `evals`.
+  std::uint64_t model_evals = 0;
 };
 
 /// Sweeps n ≥ 2 robots forward in global time and reports the first
@@ -104,8 +135,16 @@ class ContactSweep {
   [[nodiscard]] std::size_t size() const { return streams_.size(); }
 
  private:
+  /// The historical Lipschitz-step + bisection sweep (the bitwise
+  /// oracle; `SweepOptions::solver == kBisection`).
+  [[nodiscard]] SweepResult run_bisection();
+  /// The analytic per-window sweep (`kAnalytic`, and `kAuto` which
+  /// falls back to certified stepping on windows containing arcs).
+  [[nodiscard]] SweepResult run_analytic(bool auto_mode);
+
   std::vector<traj::GlobalSegmentStream> streams_;
   std::vector<traj::TimedSegment> current_;
+  traj::BatchedPositions batch_;  ///< SoA evaluator over `current_`
   std::vector<geom::Vec2> pos_;
   std::vector<double> speeds_;  ///< reused per-step speed buffer
   SweepMetric metric_;

@@ -1,0 +1,132 @@
+#include "engine/event_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <variant>
+
+#include "mathx/roots.hpp"
+
+namespace rv::engine {
+
+using geom::Vec2;
+using traj::TimedSegment;
+
+bool is_polynomial(const TimedSegment& seg) {
+  return !std::holds_alternative<traj::ArcSeg>(seg.geometry);
+}
+
+Vec2 segment_velocity(const TimedSegment& seg) {
+  const auto* line = std::get_if<traj::LineSeg>(&seg.geometry);
+  if (!line) return {0.0, 0.0};
+  const double span = seg.t1 - seg.t0;
+  if (span <= 0.0) return {0.0, 0.0};
+  return {(line->to.x - line->from.x) / span,
+          (line->to.y - line->from.y) / span};
+}
+
+PairCrossing quad_first_crossing(const Vec2& delta0, const Vec2& dvel,
+                                 double r, double w) {
+  // g(s) = c2 s² + c1 s + c0 with g = d² − r².
+  const double c2 = geom::norm_sq(dvel);
+  const double c1 = 2.0 * geom::dot(delta0, dvel);
+  const double c0 = geom::norm_sq(delta0) - r * r;
+  if (c0 <= 0.0) {
+    // Already at or inside r — the caller only advances from outside;
+    // report an immediate crossing and let it re-evaluate.
+    return {PairCrossing::Status::kCrossing, 0.0};
+  }
+  if (c2 == 0.0) {
+    // Relative rest (c1 is then 0 too) or… c2 = 0 forces Δv = 0, so
+    // the distance is constant above r.
+    return {PairCrossing::Status::kClear, w};
+  }
+  if (c1 >= 0.0) {
+    // The pair is separating at the window start and g is convex: with
+    // g(0) > 0 and g'(0) ≥ 0 it never returns to r² (both roots of g
+    // are ≤ 0: their sum −c1/c2 ≤ 0, their product c0/c2 > 0).
+    return {PairCrossing::Status::kClear, w};
+  }
+  const double disc = c1 * c1 - 4.0 * c2 * c0;
+  if (disc <= 0.0) {
+    return {PairCrossing::Status::kClear, w};
+  }
+  // Stable quadratic roots; with c1 < 0, q > 0 and both roots are
+  // positive.  The smaller one is the entry into the r-disk.
+  const double q = 0.5 * (std::sqrt(disc) - c1);
+  const double s = std::min(q / c2, c0 / q);
+  if (!(s <= w)) {
+    return {PairCrossing::Status::kClear, w};
+  }
+  return {PairCrossing::Status::kCrossing, s};
+}
+
+PairCrossing certified_first_crossing(const TimedSegment& a,
+                                      const TimedSegment& b, const Vec2& pa,
+                                      const Vec2& pb, double t, double r,
+                                      double w,
+                                      const CrossingControls& controls,
+                                      std::uint64_t* model_evals) {
+  const double r_sq = r * r;
+  auto g = [&](double s) {
+    ++*model_evals;
+    const Vec2 qa = a.position(t + s);
+    const Vec2 qb = b.position(t + s);
+    return geom::norm_sq(qb - qa) - r_sq;
+  };
+
+  const double g0 = geom::norm_sq(pb - pa) - r_sq;
+  if (g0 <= 0.0) {
+    return {PairCrossing::Status::kCrossing, 0.0};
+  }
+  const double speed_sum = a.speed() + b.speed();
+  if (speed_sum <= 0.0) {
+    // Both parked: constant separation above r.
+    return {PairCrossing::Status::kClear, w};
+  }
+  // |d/ds d²| = 2|Δ·Δ'| ≤ 2·|Δ|·V with |Δ(s)| ≤ d₀ + V·s ≤ d₀ + V·w:
+  // a provable Lipschitz constant of g on the window.
+  const double d0 = std::sqrt(g0 + r_sq);
+  const double lipschitz = 2.0 * speed_sum * (d0 + speed_sum * w);
+
+  double s = 0.0;
+  double gs = g0;
+  for (std::uint64_t steps = 0; steps < controls.max_steps; ++steps) {
+    const double step = std::max(gs / lipschitz, controls.min_step);
+    const double sn = std::min(s + step, w);
+    if (sn <= s) {
+      return {PairCrossing::Status::kClear, w};
+    }
+    const double gn = g(sn);
+    if (gn <= 0.0) {
+      // Bracket found; brent refinement under the sweep's time
+      // tolerance (superlinear, replaces the bisection loop).
+      mathx::RootOptions root_opts;
+      root_opts.x_tol = controls.time_tol;
+      const mathx::RootResult root = mathx::brent(g, s, sn, root_opts);
+      return {PairCrossing::Status::kCrossing, root.x};
+    }
+    s = sn;
+    gs = gn;
+    if (s >= w) {
+      return {PairCrossing::Status::kClear, w};
+    }
+  }
+  // Step budget exhausted: certified clear only up to s.
+  return {PairCrossing::Status::kPartial, s};
+}
+
+PairCrossing pair_first_crossing(const TimedSegment& a, const TimedSegment& b,
+                                 const Vec2& pa, const Vec2& pb, double t,
+                                 double r, double w,
+                                 const CrossingControls& controls,
+                                 std::uint64_t* model_evals) {
+  if (is_polynomial(a) && is_polynomial(b)) {
+    ++*model_evals;
+    return quad_first_crossing(pb - pa, segment_velocity(b) - segment_velocity(a),
+                               r, w);
+  }
+  return certified_first_crossing(a, b, pa, pb, t, r, w, controls,
+                                  model_evals);
+}
+
+}  // namespace rv::engine

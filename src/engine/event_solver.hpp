@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file event_solver.hpp
+/// Analytic per-window event models for the certified sweep.
+///
+/// Between trajectory breakpoints every robot rides one primitive, so
+/// each pairwise squared distance d²ij(t) has a closed analytic form on
+/// the window:
+///   * line–line, line–wait, wait–wait — both positions are affine in
+///     t, so d²(t) is a *quadratic*: its first crossing of r² is a
+///     closed-form root (`quad_first_crossing`), no evaluation loop at
+///     all;
+///   * pairs involving an arc — d²(t) picks up trigonometric cross
+///     terms with no closed-form root, but the model still yields a
+///     provable derivative bound |d/ds d²| ≤ 2·V·(d₀ + V·w) on the
+///     window (V = sum of the two traversal speeds, d₀ the separation
+///     at the window start, w the window length).  `certified_first_
+///     crossing` steps under that bound — each step provably cannot
+///     skip a crossing — and refines the first bracketing step with
+///     `mathx::brent` (superlinear) instead of bisection.
+///
+/// `engine::ContactSweep` dispatches on `SweepOptions::solver` exactly
+/// like the metric kernels dispatch on `SweepOptions::kernel`:
+/// `kBisection` is the historical Lipschitz-step + bisection oracle
+/// (byte-identical outputs, the default), `kAnalytic` drives the sweep
+/// by these models, and `kAuto` uses the models on polynomial windows
+/// and falls back to certified stepping on windows containing arcs.
+///
+/// Certification contract: the model paths inherit the sweep's Zeno
+/// guard — a forced `min_step` of progress can pass over a tangential
+/// dip of temporal width below `min_step`, exactly as the Lipschitz
+/// stepper can — and every *accepted* event is confirmed by a real
+/// metric evaluation at the candidate time, so the bisection path
+/// remains the bitwise oracle while the analytic path agrees to within
+/// the sweep tolerances (pinned by tests/test_event_solver.cpp).
+
+#include <cstdint>
+
+#include "geom/vec2.hpp"
+#include "traj/frame.hpp"
+
+namespace rv::engine {
+
+/// Which event solver drives the sweep between metric evaluations.
+enum class SolverChoice {
+  kBisection,  ///< Lipschitz stepping + bisection (the bitwise oracle)
+  kAnalytic,   ///< per-window pair models everywhere (brent on arcs)
+  kAuto,       ///< models on polynomial windows, stepping on arc windows
+};
+
+/// Outcome of a first-crossing query for one pair on one window
+/// [0, w] (s is relative to the window start).
+struct PairCrossing {
+  enum class Status {
+    kClear,     ///< certified: d² > r² on the whole window
+    kCrossing,  ///< first s in (0, w] with d²(s) ≤ r² located at `s`
+    kPartial,   ///< certified clear only on (0, s] (step budget hit)
+  };
+  Status status = Status::kClear;
+  double s = 0.0;
+};
+
+/// Termination controls of the certified arc-pair search; the sweep
+/// wires its own tolerances in (`time_tol` feeds `mathx::RootOptions::
+/// x_tol` for the brent refinement, `min_step` is the Zeno guard).
+struct CrossingControls {
+  double time_tol = 1e-9;
+  double min_step = 1e-9;
+  std::uint64_t max_steps = 4096;  ///< per-pair budget before kPartial
+};
+
+/// True when the segment's position is affine in time (line or wait —
+/// anything but an arc), i.e. the pair model is a quadratic.
+[[nodiscard]] bool is_polynomial(const traj::TimedSegment& seg);
+
+/// Global-frame velocity of a polynomial segment (0 for waits).
+[[nodiscard]] geom::Vec2 segment_velocity(const traj::TimedSegment& seg);
+
+/// Closed-form first crossing of |Δ₀ + Δv·s|² = r² on (0, w], given
+/// the pair separation Δ₀ at the window start and relative velocity
+/// Δv.  Requires |Δ₀| > r (the sweep only advances while the metric is
+/// above r); returns a crossing at s = 0 defensively otherwise.
+[[nodiscard]] PairCrossing quad_first_crossing(const geom::Vec2& delta0,
+                                               const geom::Vec2& dvel,
+                                               double r, double w);
+
+/// Certified first crossing of d²(s) = r² for an arbitrary pair on the
+/// window (t, t + w]: derivative-bound stepping (each step provably
+/// cannot skip a crossing deeper than the Zeno guard) with brent
+/// refinement of the first bracketing step.  `pa`/`pb` are the two
+/// positions at window start t.  Each model evaluation (one pair, not
+/// the fleet metric) increments `*model_evals`.
+[[nodiscard]] PairCrossing certified_first_crossing(
+    const traj::TimedSegment& a, const traj::TimedSegment& b,
+    const geom::Vec2& pa, const geom::Vec2& pb, double t, double r, double w,
+    const CrossingControls& controls, std::uint64_t* model_evals);
+
+/// Dispatch: quadratic closed form when both segments are polynomial,
+/// certified derivative-bound search otherwise.  Counts one model
+/// evaluation for the closed form.
+[[nodiscard]] PairCrossing pair_first_crossing(
+    const traj::TimedSegment& a, const traj::TimedSegment& b,
+    const geom::Vec2& pa, const geom::Vec2& pb, double t, double r, double w,
+    const CrossingControls& controls, std::uint64_t* model_evals);
+
+}  // namespace rv::engine

@@ -2,17 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 namespace rv::mathx {
 
 namespace {
-void check_bracket(double fa, double fb) {
+// Failed brackets name the offending endpoints: a bare "does not
+// bracket" from deep inside a sweep is undebuggable, while the actual
+// (a, f(a)), (b, f(b)) pair immediately shows whether the caller
+// picked a bad window or the function is misbehaving (NaN).
+void check_bracket(double a, double b, double fa, double fb) {
   if (std::isnan(fa) || std::isnan(fb)) {
-    throw std::invalid_argument("root finder: NaN at bracket endpoint");
+    std::ostringstream msg;
+    msg << "root finder: NaN at bracket endpoint: f(" << a << ") = " << fa
+        << ", f(" << b << ") = " << fb;
+    throw std::invalid_argument(msg.str());
   }
   if (fa * fb > 0.0) {
-    throw std::invalid_argument("root finder: endpoints do not bracket a root");
+    std::ostringstream msg;
+    msg << "root finder: endpoints do not bracket a root: f(" << a
+        << ") = " << fa << ", f(" << b << ") = " << fb;
+    throw std::invalid_argument(msg.str());
   }
 }
 }  // namespace
@@ -21,7 +32,7 @@ RootResult brent(const std::function<double(double)>& f, double a, double b,
                  const RootOptions& opts) {
   double fa = f(a);
   double fb = f(b);
-  check_bracket(fa, fb);
+  check_bracket(a, b, fa, fb);
   if (fa == 0.0) return {a, 0.0, 0};
   if (fb == 0.0) return {b, 0.0, 0};
 
@@ -84,7 +95,7 @@ RootResult bisect(const std::function<double(double)>& f, double a, double b,
                   const RootOptions& opts) {
   double fa = f(a);
   double fb = f(b);
-  check_bracket(fa, fb);
+  check_bracket(a, b, fa, fb);
   if (fa == 0.0) return {a, 0.0, 0};
   if (fb == 0.0) return {b, 0.0, 0};
   int it = 0;

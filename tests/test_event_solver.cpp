@@ -1,0 +1,412 @@
+// Property tests pitting the analytic event solver (`SweepOptions::
+// solver = kAnalytic` / `kAuto`) against the bisection oracle on
+// randomized line/arc/wait fleets: events and no-events must agree
+// exactly away from knife edges, event times must agree within the
+// sweep time tolerance scale, and the analytic path must deliver the
+// promised metric-evaluation reduction on the gather-style workload.
+// The default solver is pinned to the bisection oracle — that is what
+// keeps every golden byte and every cacheable outcome
+// (`engine::cache_key` does not key the solver) unchanged.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/contact_sweep.hpp"
+#include "engine/event_solver.hpp"
+#include "geom/vec2.hpp"
+#include "mathx/constants.hpp"
+#include "search/baselines.hpp"
+#include "traj/path.hpp"
+#include "traj/program.hpp"
+
+namespace {
+
+using rv::engine::ContactSweep;
+using rv::engine::RobotSpec;
+using rv::engine::SolverChoice;
+using rv::engine::SweepMetric;
+using rv::engine::SweepOptions;
+using rv::engine::SweepResult;
+using rv::geom::RobotAttributes;
+using rv::geom::Vec2;
+using rv::mathx::kPi;
+using rv::mathx::kTwoPi;
+
+// Deterministic randomness (no <random> so sequences are pinned across
+// standard libraries).
+struct Lcg {
+  std::uint64_t state;
+  explicit Lcg(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 11;
+  }
+  double uniform() {  // [0, 1)
+    return static_cast<double>(next() % (1ULL << 40)) /
+           static_cast<double>(1ULL << 40);
+  }
+  double range(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  int index(int n) { return static_cast<int>(next() % n); }
+};
+
+// A random finite trajectory: lines, waits and (optionally) arcs, then
+// the PathProgram parks the robot forever.
+std::shared_ptr<rv::traj::Program> random_program(Lcg& rng, bool allow_arcs) {
+  rv::traj::Path path;
+  const int segments = 4 + rng.index(5);
+  for (int s = 0; s < segments; ++s) {
+    const int kind = rng.index(allow_arcs ? 3 : 2);
+    if (kind == 0) {
+      path.line_to({rng.range(-2.0, 2.0), rng.range(-2.0, 2.0)});
+    } else if (kind == 1) {
+      path.wait(rng.range(0.2, 1.0));
+    } else {
+      // An arc starting at the current end point: place the center so
+      // the point sits on the circle, then sweep a random signed angle.
+      const double radius = rng.range(0.3, 1.5);
+      const double theta0 = rng.range(0.0, kTwoPi);
+      const Vec2 end = path.end();
+      const Vec2 center{end.x - radius * std::cos(theta0),
+                        end.y - radius * std::sin(theta0)};
+      const double sweep =
+          (rng.uniform() < 0.5 ? 1.0 : -1.0) * rng.range(0.5, 1.5) * kPi;
+      path.append(rv::traj::ArcSeg{center, radius, theta0, sweep});
+    }
+  }
+  return std::make_shared<rv::traj::PathProgram>(std::move(path), "random");
+}
+
+std::vector<RobotSpec> random_fleet(Lcg& rng, int n, bool allow_arcs) {
+  std::vector<RobotSpec> robots;
+  robots.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    RobotAttributes attrs;
+    attrs.speed = rng.range(0.5, 2.0);
+    attrs.time_unit = rng.range(0.5, 1.5);
+    attrs.orientation = rng.range(0.0, kTwoPi);
+    attrs.chirality = rng.uniform() < 0.5 ? 1 : -1;
+    const double rho = rng.range(0.5, 3.0);
+    const double ang = rng.range(0.0, kTwoPi);
+    robots.push_back({random_program(rng, allow_arcs), attrs,
+                      {rho * std::cos(ang), rho * std::sin(ang)}});
+  }
+  return robots;
+}
+
+// Programs are stateful pull-based generators (a sweep *consumes*
+// them), so every sweep below is handed a freshly constructed fleet —
+// sharing one RobotSpec vector across two sweeps would hand the second
+// sweep already-exhausted segment streams.
+SweepResult sweep(std::vector<RobotSpec> robots, SweepMetric metric,
+                  SweepOptions opts, SolverChoice solver) {
+  opts.solver = solver;
+  ContactSweep cs(std::move(robots), metric, opts);
+  return cs.run();
+}
+
+// Randomized cross-solver agreement.  Knife edges — fleets whose
+// closest approach to the visibility radius is within `edge` — are
+// skipped: there, event-vs-no-event is decided by which sample lands
+// in the contact band, which is legitimately solver-dependent.
+void check_agreement(std::uint64_t seed, int n, bool allow_arcs,
+                     SweepMetric metric, SolverChoice solver) {
+  Lcg rng(seed);
+  int compared = 0;
+  constexpr double kEdge = 1e-6;
+  constexpr int kCases = 12;
+  for (int c = 0; c < kCases; ++c) {
+    const std::uint64_t fleet_seed = rng.next();
+    auto fleet = [&] {  // same fleet, fresh programs, per sweep
+      Lcg fleet_rng(fleet_seed);
+      return random_fleet(fleet_rng, n, allow_arcs);
+    };
+    SweepOptions opts;
+    opts.visibility = rng.range(0.2, 0.8);
+    opts.max_time = 40.0;
+    const SweepResult oracle =
+        sweep(fleet(), metric, opts, SolverChoice::kBisection);
+    const SweepResult fast = sweep(fleet(), metric, opts, solver);
+    // Near-graze *misses* only: on any detected event the stepper
+    // converges onto r, so best_metric ≈ r there by construction and
+    // filtering on it would discard every event case.
+    if (!oracle.event &&
+        std::abs(oracle.best_metric - opts.visibility) < kEdge) {
+      continue;
+    }
+    ++compared;
+    ASSERT_EQ(oracle.event, fast.event)
+        << "seed=" << seed << " case=" << c << " n=" << n
+        << " r=" << opts.visibility << " oracle.best=" << oracle.best_metric;
+    if (oracle.event) {
+      EXPECT_NEAR(oracle.time, fast.time, 1e-6)
+          << "seed=" << seed << " case=" << c << " n=" << n;
+    } else {
+      EXPECT_DOUBLE_EQ(oracle.time, fast.time);  // both at the horizon
+    }
+  }
+  // The knife-edge filter must not eat the test.
+  EXPECT_GE(compared, kCases / 2);
+}
+
+TEST(EventSolver, AnalyticMatchesOracleOnLineWaitFleets) {
+  check_agreement(0xA11CE, 2, false, SweepMetric::kMinPairwise,
+                  SolverChoice::kAnalytic);
+  check_agreement(0xB0B, 3, false, SweepMetric::kMinPairwise,
+                  SolverChoice::kAnalytic);
+  check_agreement(0xC0FFEE, 6, false, SweepMetric::kMaxPairwise,
+                  SolverChoice::kAnalytic);
+  check_agreement(0xD00D, 12, false, SweepMetric::kMaxPairwise,
+                  SolverChoice::kAnalytic);
+}
+
+TEST(EventSolver, AnalyticMatchesOracleOnArcFleets) {
+  check_agreement(0x5EED1, 2, true, SweepMetric::kMinPairwise,
+                  SolverChoice::kAnalytic);
+  check_agreement(0x5EED2, 3, true, SweepMetric::kMinPairwise,
+                  SolverChoice::kAnalytic);
+  check_agreement(0x5EED3, 6, true, SweepMetric::kMaxPairwise,
+                  SolverChoice::kAnalytic);
+}
+
+TEST(EventSolver, AutoMatchesOracleOnMixedFleets) {
+  check_agreement(0xAA1, 3, true, SweepMetric::kMinPairwise,
+                  SolverChoice::kAuto);
+  check_agreement(0xAA2, 6, true, SweepMetric::kMaxPairwise,
+                  SolverChoice::kAuto);
+  check_agreement(0xAA3, 4, false, SweepMetric::kMaxPairwise,
+                  SolverChoice::kAuto);
+}
+
+TEST(EventSolver, HeadOnCrossingTimeIsExact) {
+  // Two robots head-on along the x axis from distance 2 at closing
+  // speed 2 with r = 0.5: the crossing is at t = (2 − 0.5)/2 = 0.75.
+  auto toward = [](double from_x, double to_x) {
+    rv::traj::Path p;
+    p.line_to({to_x - from_x, 0.0});  // local frame: starts at (0, 0)
+    return std::make_shared<rv::traj::PathProgram>(std::move(p), "line");
+  };
+  auto robots = [&] {
+    std::vector<RobotSpec> r;
+    r.push_back({toward(-1.0, 9.0), RobotAttributes{}, {-1.0, 0.0}});
+    r.push_back({toward(1.0, -9.0), RobotAttributes{}, {1.0, 0.0}});
+    return r;
+  };
+  SweepOptions opts;
+  opts.visibility = 0.5;
+  opts.max_time = 10.0;
+  const SweepResult ana =
+      sweep(robots(), SweepMetric::kMinPairwise, opts, SolverChoice::kAnalytic);
+  const SweepResult bis = sweep(robots(), SweepMetric::kMinPairwise, opts,
+                                SolverChoice::kBisection);
+  ASSERT_TRUE(ana.event);
+  ASSERT_TRUE(bis.event);
+  EXPECT_NEAR(ana.time, 0.75, 1e-9);
+  EXPECT_NEAR(bis.time, 0.75, 1e-8);
+  // The analytic path needs only the initial evaluation plus the one
+  // confirming the jump landed in the contact band.  (On a purely
+  // radial approach the Lipschitz step is tight, so the oracle happens
+  // to match it here — hence ≥, not >.)
+  EXPECT_LE(ana.evals, 4u);
+  EXPECT_GE(bis.evals, ana.evals);
+}
+
+TEST(EventSolver, ArcApproachCrossingMatchesClosedForm) {
+  // A parked robot at the origin and one riding the circle of radius 2
+  // around (3, 0), starting at angle π/2 and sweeping CCW toward π.
+  // d²(θ) = 13 + 12·cos θ, so d = 1.5 at θ* = arccos(−43/48); the
+  // crossing time is the arc length 2·(θ* − π/2).
+  // Local frames start at (0, 0), so the arc is expressed with local
+  // center (0, −2) — start point (0, 0) at angle π/2 — and the robot
+  // origin of (3, 2) places the global circle center at (3, 0).
+  auto robots = [&] {
+    rv::traj::Path arc_path;
+    arc_path.append(rv::traj::ArcSeg{{0.0, -2.0}, 2.0, kPi / 2.0, kPi / 2.0});
+    std::vector<RobotSpec> r;
+    r.push_back({std::make_shared<rv::traj::StationaryProgram>(),
+                 RobotAttributes{}, {0.0, 0.0}});
+    r.push_back(
+        {std::make_shared<rv::traj::PathProgram>(std::move(arc_path), "arc"),
+         RobotAttributes{},
+         {3.0, 2.0}});
+    return r;
+  };
+  SweepOptions opts;
+  opts.visibility = 1.5;
+  opts.max_time = 10.0;
+  const double theta_star = std::acos(-43.0 / 48.0);
+  const double expected = 2.0 * (theta_star - kPi / 2.0);
+  const SweepResult ana =
+      sweep(robots(), SweepMetric::kMinPairwise, opts, SolverChoice::kAnalytic);
+  const SweepResult bis = sweep(robots(), SweepMetric::kMinPairwise, opts,
+                                SolverChoice::kBisection);
+  ASSERT_TRUE(ana.event);
+  ASSERT_TRUE(bis.event);
+  EXPECT_NEAR(ana.time, expected, 1e-7);
+  EXPECT_NEAR(bis.time, expected, 1e-7);
+  EXPECT_GT(ana.model_evals, 0u);
+}
+
+TEST(EventSolver, CoincidentRobotsEventImmediately) {
+  Lcg rng(0xC01);
+  for (SolverChoice solver :
+       {SolverChoice::kBisection, SolverChoice::kAnalytic,
+        SolverChoice::kAuto}) {
+    std::vector<RobotSpec> robots;
+    auto prog = random_program(rng, true);
+    robots.push_back({prog, RobotAttributes{}, {1.0, 1.0}});
+    robots.push_back({random_program(rng, true), RobotAttributes{},
+                      {1.0, 1.0}});
+    SweepOptions opts;
+    opts.visibility = 0.25;
+    const SweepResult res =
+        sweep(robots, SweepMetric::kMinPairwise, opts, solver);
+    ASSERT_TRUE(res.event);
+    EXPECT_DOUBLE_EQ(res.time, 0.0);
+  }
+}
+
+TEST(EventSolver, GrazingMissAndHitAgree) {
+  // Two parallel east-bound robots offset in y by c, one trailing in x:
+  // the separation shrinks toward c as the trailing robot (faster)
+  // draws level.  c = r ± margin turns the pass into a clean hit/miss.
+  auto east = [](double length) {
+    rv::traj::Path p;
+    p.line_to({length, 0.0});
+    return std::make_shared<rv::traj::PathProgram>(std::move(p), "east");
+  };
+  for (const bool hit : {true, false}) {
+    const double r = 0.5;
+    const double c = hit ? r - 1e-3 : r + 1e-3;
+    auto robots = [&] {
+      std::vector<RobotSpec> r2;
+      RobotAttributes fast;
+      fast.speed = 2.0;
+      r2.push_back({east(40.0), fast, {-10.0, 0.0}});
+      r2.push_back({east(20.0), RobotAttributes{}, {0.0, c}});
+      return r2;
+    };
+    SweepOptions opts;
+    opts.visibility = r;
+    opts.max_time = 30.0;
+    const SweepResult bis = sweep(robots(), SweepMetric::kMinPairwise, opts,
+                                  SolverChoice::kBisection);
+    const SweepResult ana = sweep(robots(), SweepMetric::kMinPairwise, opts,
+                                  SolverChoice::kAnalytic);
+    ASSERT_EQ(bis.event, hit);
+    ASSERT_EQ(ana.event, hit);
+    if (hit) EXPECT_NEAR(bis.time, ana.time, 1e-6);
+  }
+}
+
+TEST(EventSolver, StationaryFleetsJumpWindowsWithoutEvents) {
+  // All-wait fleets never event; both solvers must agree at the
+  // horizon, and the analytic solver must not loop on Zeno guards.
+  auto robots = [] {
+    std::vector<RobotSpec> r;
+    for (int i = 0; i < 4; ++i) {
+      rv::traj::Path p;
+      p.wait(2.0);
+      p.wait(3.0);
+      r.push_back(
+          {std::make_shared<rv::traj::PathProgram>(std::move(p), "parked"),
+           RobotAttributes{},
+           {static_cast<double>(i), static_cast<double>(i % 2)}});
+    }
+    return r;
+  };
+  SweepOptions opts;
+  opts.visibility = 0.5;
+  opts.max_time = 100.0;
+  for (SweepMetric metric :
+       {SweepMetric::kMinPairwise, SweepMetric::kMaxPairwise}) {
+    const SweepResult bis =
+        sweep(robots(), metric, opts, SolverChoice::kBisection);
+    const SweepResult ana =
+        sweep(robots(), metric, opts, SolverChoice::kAnalytic);
+    EXPECT_FALSE(bis.event);
+    EXPECT_FALSE(ana.event);
+    EXPECT_DOUBLE_EQ(bis.time, opts.max_time);
+    EXPECT_DOUBLE_EQ(ana.time, opts.max_time);
+    EXPECT_LE(ana.evals, 16u);
+  }
+}
+
+TEST(EventSolver, AnalyticCutsEvalsFiveFoldOnGatherRing) {
+  // The BM_ContactSweepGather workload at n = 50: identical
+  // square-spiral robots on a jittered ring, max-pairwise metric, r at
+  // 95% of the ring diameter.  The diameter is constant, so the
+  // analytic solver jumps window to window while the stepper burns its
+  // eval budget — the ≥5× acceptance bar of this PR, pinned here at a
+  // test-sized n (BENCH_engine.json records the n = 1000 point).
+  const int n = 50;
+  std::uint64_t s = 0x9E3779B97F4A7C15ULL;
+  std::vector<RobotSpec> robots_bis, robots_ana;
+  for (int i = 0; i < n; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double jitter = static_cast<double>((s >> 11) % 1024) / 1024.0 * 0.05;
+    const double ang = kTwoPi * i / n;
+    const Vec2 origin{(1.0 + jitter) * std::cos(ang),
+                      (1.0 + jitter) * std::sin(ang)};
+    robots_bis.push_back({rv::search::make_square_spiral_baseline(),
+                          RobotAttributes{}, origin});
+    robots_ana.push_back({rv::search::make_square_spiral_baseline(),
+                          RobotAttributes{}, origin});
+  }
+  SweepOptions opts;
+  const double diam = 2.0 * std::sin(kPi * static_cast<double>(n / 2) / n);
+  opts.visibility = 0.95 * diam;
+  opts.max_time = 100.0;
+  opts.max_evals = 2000;
+  opts.solver = SolverChoice::kBisection;
+  const SweepResult bis =
+      ContactSweep(std::move(robots_bis), SweepMetric::kMaxPairwise, opts)
+          .run();
+  opts.solver = SolverChoice::kAnalytic;
+  const SweepResult ana =
+      ContactSweep(std::move(robots_ana), SweepMetric::kMaxPairwise, opts)
+          .run();
+  EXPECT_FALSE(bis.event);
+  EXPECT_FALSE(ana.event);
+  EXPECT_GE(bis.evals, 5 * ana.evals)
+      << "bisection evals=" << bis.evals << " analytic evals=" << ana.evals;
+}
+
+TEST(EventSolver, DefaultSolverIsTheBisectionOracle) {
+  // The default must stay kBisection: the batch families build
+  // SweepOptions with defaults, engine::cache_key does not key the
+  // solver, and every golden byte is pinned against the bisection
+  // path.  Flipping this default silently repoints cacheable outcomes
+  // at tolerance-level-different numerics — do it only with a cache
+  // epoch bump and regenerated goldens.
+  EXPECT_EQ(SweepOptions{}.solver, SolverChoice::kBisection);
+  EXPECT_EQ(SweepResult{}.model_evals, 0u);
+}
+
+TEST(EventSolver, QuadFirstCrossingClosedForms) {
+  using rv::engine::PairCrossing;
+  using rv::engine::quad_first_crossing;
+  // Head-on: Δ(s) = (2 − 2s, 0), r = 0.5 → crossing at s = 0.75.
+  const PairCrossing head_on =
+      quad_first_crossing({2.0, 0.0}, {-2.0, 0.0}, 0.5, 10.0);
+  ASSERT_EQ(head_on.status, PairCrossing::Status::kCrossing);
+  EXPECT_NEAR(head_on.s, 0.75, 1e-12);
+  // Separating from the start: never crosses.
+  EXPECT_EQ(quad_first_crossing({2.0, 0.0}, {1.0, 0.0}, 0.5, 10.0).status,
+            PairCrossing::Status::kClear);
+  // Perpendicular miss: closest approach 1 > r.
+  EXPECT_EQ(quad_first_crossing({2.0, 1.0}, {-1.0, 0.0}, 0.5, 10.0).status,
+            PairCrossing::Status::kClear);
+  // Crossing beyond the window is clear within it.
+  EXPECT_EQ(quad_first_crossing({2.0, 0.0}, {-2.0, 0.0}, 0.5, 0.5).status,
+            PairCrossing::Status::kClear);
+  // Relative rest above r.
+  EXPECT_EQ(quad_first_crossing({2.0, 0.0}, {0.0, 0.0}, 0.5, 10.0).status,
+            PairCrossing::Status::kClear);
+}
+
+}  // namespace

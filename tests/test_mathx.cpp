@@ -111,6 +111,31 @@ TEST(Brent, RejectsNonBracketingInterval) {
                std::invalid_argument);
 }
 
+TEST(Brent, BracketFailureNamesTheEndpoints) {
+  // The diagnostic must carry the actual (x, f(x)) pairs — a bare
+  // "does not bracket" from deep inside a sweep is undebuggable.
+  try {
+    (void)brent([](double x) { return x * x + 1.0; }, -1.0, 3.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("do not bracket"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("f(-1) = 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("f(3) = 10"), std::string::npos) << msg;
+  }
+}
+
+TEST(Bisect, NanEndpointFailureNamesTheEndpoints) {
+  try {
+    (void)bisect([](double x) { return std::sqrt(x); }, -4.0, 1.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("NaN at bracket endpoint"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("f(-4)"), std::string::npos) << msg;
+  }
+}
+
 TEST(Bisect, ConvergesLinearly) {
   const RootResult res =
       bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);

@@ -10,6 +10,7 @@
 #include "geom/angle.hpp"
 #include "mathx/constants.hpp"
 #include "mathx/rng.hpp"
+#include "traj/batch.hpp"
 #include "traj/frame.hpp"
 #include "traj/path.hpp"
 #include "traj/program.hpp"
@@ -456,6 +457,81 @@ TEST(SamplerTest, FlattenPathDeduplicatesJunctions) {
 TEST(SamplerTest, FlattenRejectsBadTolerance) {
   EXPECT_THROW((void)flatten_segment(Segment{WaitSeg{{0, 0}, 1.0}}, 0.0),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Batched SoA position evaluation
+// ---------------------------------------------------------------------------
+
+TEST(BatchTest, BitwiseMatchesScalarOnRandomSegmentSoups) {
+  // The engine's golden bytes depend on BatchedPositions replaying the
+  // exact floating-point sequence of TimedSegment::position, so the
+  // comparison here is `==`, not EXPECT_NEAR: any reordered operation
+  // fails loudly.  Query times deliberately land before t0 and after
+  // t1 to exercise the clamp paths too.
+  rv::mathx::Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<TimedSegment> segs;
+    const int n = 1 + rng.uniform_int(0, 19);
+    double t = rng.uniform(-2.0, 2.0);
+    for (int i = 0; i < n; ++i) {
+      const double t0 = t;
+      const double t1 = t0 + rng.uniform(1e-6, 3.0);
+      t = t1;
+      Segment geometry;
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          geometry = LineSeg{{rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)},
+                             {rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)}};
+          break;
+        case 1:
+          geometry = ArcSeg{{rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)},
+                            rng.uniform(0.1, 3.0),
+                            rng.uniform(0.0, kTwoPi),
+                            rng.uniform(-2.0, 2.0) * kPi};
+          break;
+        case 2:
+          geometry = WaitSeg{{rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)},
+                             rng.uniform(0.1, 2.0)};
+          break;
+        default:  // degenerate line: from == to
+          const Vec2 p{rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)};
+          geometry = LineSeg{p, p};
+          break;
+      }
+      segs.push_back({geometry, t0, t1});
+    }
+    BatchedPositions batch;
+    batch.assemble(segs);
+    ASSERT_EQ(batch.size(), segs.size());
+    std::vector<Vec2> out(segs.size());
+    for (int q = 0; q < 8; ++q) {
+      const double at = rng.uniform(segs.front().t0 - 1.0,
+                                    segs.back().t1 + 1.0);
+      batch.positions(at, out.data());
+      for (std::size_t i = 0; i < segs.size(); ++i) {
+        const Vec2 ref = segs[i].position(at);
+        EXPECT_EQ(out[i].x, ref.x) << "trial=" << trial << " i=" << i
+                                   << " at=" << at;
+        EXPECT_EQ(out[i].y, ref.y) << "trial=" << trial << " i=" << i
+                                   << " at=" << at;
+      }
+    }
+  }
+}
+
+TEST(BatchTest, ReassembleReplacesPreviousFleet) {
+  BatchedPositions batch;
+  batch.assemble({{LineSeg{{0.0, 0.0}, {1.0, 0.0}}, 0.0, 1.0},
+                  {WaitSeg{{2.0, 2.0}, 1.0}, 0.0, 1.0}});
+  ASSERT_EQ(batch.size(), 2u);
+  batch.assemble({{LineSeg{{0.0, 0.0}, {0.0, 2.0}}, 0.0, 2.0}});
+  ASSERT_EQ(batch.size(), 1u);
+  Vec2 out;
+  batch.positions(1.0, &out);
+  const TimedSegment ref{LineSeg{{0.0, 0.0}, {0.0, 2.0}}, 0.0, 2.0};
+  EXPECT_EQ(out.x, ref.position(1.0).x);
+  EXPECT_EQ(out.y, ref.position(1.0).y);
 }
 
 }  // namespace

@@ -1,0 +1,328 @@
+// bench_diff — compare two google-benchmark JSON outputs and fail on
+// regressions.
+//
+// The repository commits BENCH_engine.json (the engine perf
+// trajectory); CI regenerates it from a Release build every run.  This
+// tool turns that artifact into a *gate*: given a baseline and a
+// candidate file it matches benchmark series by name, computes the
+// relative change of the chosen metric, and exits non-zero when any
+// selected series regresses by more than the threshold — or when a
+// selected series silently disappears from the candidate.
+//
+//   bench_diff <baseline.json> <candidate.json>
+//              [--series <substring>]...      restrict to matching names
+//              [--max-regress-pct <X>]        default 10
+//              [--metric real_time|cpu_time]  default real_time
+//              [--require-optimized]          candidate context must carry
+//                                             "rv_optimized_build": "true"
+//   bench_diff --self-test                    verify the gate on synthetic
+//                                             data (injects a regression
+//                                             and expects it to be caught)
+//
+// Exit codes: 0 pass, 1 regression/gate failure, 2 usage or parse error.
+//
+// The parser is deliberately minimal: it understands exactly the JSON
+// google-benchmark emits (a "context" object followed by a
+// "benchmarks" array whose entries carry "name" and the time fields) —
+// no third-party JSON dependency, nothing outside the toolchain the
+// image bakes in.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Series {
+  std::string name;
+  double real_time = 0.0;
+  double cpu_time = 0.0;
+};
+
+struct BenchFile {
+  std::string optimized;  ///< context "rv_optimized_build" (empty if absent)
+  std::string build_type;  ///< context "library_build_type" (informational)
+  std::vector<Series> series;
+};
+
+// Finds `"key":` at top level of the text from `from`; returns the
+// position just past the colon, or npos.  The leading quote in the
+// needle keeps suffix keys ("run_name" vs "name") from matching.
+std::size_t find_key(const std::string& text, const char* key,
+                     std::size_t from) {
+  const std::string needle = std::string("\"") + key + "\"";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos) return std::string::npos;
+  std::size_t p = at + needle.size();
+  while (p < text.size() && (text[p] == ' ' || text[p] == ':')) ++p;
+  return p;
+}
+
+std::optional<std::string> parse_string_at(const std::string& text,
+                                           std::size_t p) {
+  if (p >= text.size() || text[p] != '"') return std::nullopt;
+  const std::size_t end = text.find('"', p + 1);
+  if (end == std::string::npos) return std::nullopt;
+  return text.substr(p + 1, end - p - 1);
+}
+
+std::optional<double> parse_number_at(const std::string& text, std::size_t p) {
+  if (p >= text.size()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str() + p, &end);
+  if (end == text.c_str() + p) return std::nullopt;
+  return v;
+}
+
+std::optional<BenchFile> parse_bench_json(const std::string& text) {
+  BenchFile out;
+  const std::size_t benchmarks = text.find("\"benchmarks\"");
+  if (benchmarks == std::string::npos) return std::nullopt;
+
+  // Context flags live before the benchmarks array.
+  const std::string context = text.substr(0, benchmarks);
+  if (const auto p = find_key(context, "rv_optimized_build", 0);
+      p != std::string::npos) {
+    out.optimized = parse_string_at(context, p).value_or("");
+  }
+  if (const auto p = find_key(context, "library_build_type", 0);
+      p != std::string::npos) {
+    out.build_type = parse_string_at(context, p).value_or("");
+  }
+
+  std::size_t cursor = benchmarks;
+  while (true) {
+    const std::size_t name_at = find_key(text, "name", cursor);
+    if (name_at == std::string::npos) break;
+    const auto name = parse_string_at(text, name_at);
+    const std::size_t real_at = find_key(text, "real_time", name_at);
+    const std::size_t cpu_at = find_key(text, "cpu_time", name_at);
+    if (!name || real_at == std::string::npos ||
+        cpu_at == std::string::npos) {
+      break;
+    }
+    const auto real = parse_number_at(text, real_at);
+    const auto cpu = parse_number_at(text, cpu_at);
+    if (!real || !cpu) return std::nullopt;
+    // First occurrence wins (repetition aggregates repeat the name).
+    const bool seen =
+        std::any_of(out.series.begin(), out.series.end(),
+                    [&](const Series& s) { return s.name == *name; });
+    if (!seen) out.series.push_back({*name, *real, *cpu});
+    cursor = std::max(real_at, cpu_at);
+  }
+  return out;
+}
+
+std::optional<BenchFile> load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = parse_bench_json(buf.str());
+  if (!parsed) {
+    std::fprintf(stderr, "bench_diff: %s is not google-benchmark JSON\n",
+                 path.c_str());
+  }
+  return parsed;
+}
+
+struct Options {
+  std::string baseline;
+  std::string candidate;
+  std::vector<std::string> series_filters;
+  double max_regress_pct = 10.0;
+  bool use_cpu_time = false;
+  bool require_optimized = false;
+};
+
+bool name_selected(const Options& opts, const std::string& name) {
+  if (opts.series_filters.empty()) return true;
+  return std::any_of(opts.series_filters.begin(), opts.series_filters.end(),
+                     [&](const std::string& f) {
+                       return name.find(f) != std::string::npos;
+                     });
+}
+
+const Series* find_series(const BenchFile& file, const std::string& name) {
+  for (const Series& s : file.series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+// Core comparison; returns the number of gate failures and prints the
+// per-series report.
+int compare(const Options& opts, const BenchFile& base,
+            const BenchFile& cand) {
+  int failures = 0;
+  if (opts.require_optimized && cand.optimized != "true") {
+    std::fprintf(stderr,
+                 "bench_diff: candidate context lacks \"rv_optimized_build\": "
+                 "\"true\" (got \"%s\", library_build_type \"%s\") — "
+                 "unoptimized timings are not comparable\n",
+                 cand.optimized.c_str(), cand.build_type.c_str());
+    ++failures;
+  }
+  std::printf("%-44s %14s %14s %9s\n", "series", "baseline(ns)",
+              "candidate(ns)", "delta");
+  int selected = 0;
+  for (const Series& b : base.series) {
+    if (!name_selected(opts, b.name)) continue;
+    ++selected;
+    const Series* c = find_series(cand, b.name);
+    if (!c) {
+      std::printf("%-44s %14.1f %14s %9s  MISSING\n", b.name.c_str(),
+                  opts.use_cpu_time ? b.cpu_time : b.real_time, "-", "-");
+      ++failures;
+      continue;
+    }
+    const double bv = opts.use_cpu_time ? b.cpu_time : b.real_time;
+    const double cv = opts.use_cpu_time ? c->cpu_time : c->real_time;
+    const double pct = bv > 0.0 ? (cv - bv) / bv * 100.0 : 0.0;
+    const bool regressed = pct > opts.max_regress_pct;
+    std::printf("%-44s %14.1f %14.1f %+8.1f%%%s\n", b.name.c_str(), bv, cv,
+                pct, regressed ? "  REGRESSION" : "");
+    if (regressed) ++failures;
+  }
+  if (selected == 0) {
+    std::fprintf(stderr,
+                 "bench_diff: no baseline series matched the filters — the "
+                 "gate would be vacuous\n");
+    ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench_diff: %d failure(s) at threshold +%.1f%% on %s\n",
+                 failures, opts.max_regress_pct,
+                 opts.use_cpu_time ? "cpu_time" : "real_time");
+  }
+  return failures;
+}
+
+// Synthetic end-to-end check of the gate: a baseline and a candidate
+// with one series regressed well past any sane threshold must fail,
+// and the same candidate with the regression removed must pass.  Run
+// by CTest (bench_diff_selftest) and by the CI perf step, so a broken
+// comparator cannot silently wave regressions through.
+int self_test() {
+  const char* base_json = R"({
+    "context": {"rv_optimized_build": "true",
+                "library_build_type": "release"},
+    "benchmarks": [
+      {"name": "BM_A/10", "run_name": "BM_A/10",
+       "real_time": 100.0, "cpu_time": 99.0, "time_unit": "ns"},
+      {"name": "BM_B/10", "run_name": "BM_B/10",
+       "real_time": 200.0, "cpu_time": 198.0, "time_unit": "ns"}
+    ]})";
+  const char* regressed_json = R"({
+    "context": {"rv_optimized_build": "true",
+                "library_build_type": "release"},
+    "benchmarks": [
+      {"name": "BM_A/10", "run_name": "BM_A/10",
+       "real_time": 180.0, "cpu_time": 178.0, "time_unit": "ns"},
+      {"name": "BM_B/10", "run_name": "BM_B/10",
+       "real_time": 201.0, "cpu_time": 199.0, "time_unit": "ns"}
+    ]})";
+  const char* unoptimized_json = R"({
+    "context": {"rv_optimized_build": "false",
+                "library_build_type": "debug"},
+    "benchmarks": [
+      {"name": "BM_A/10", "run_name": "BM_A/10",
+       "real_time": 100.0, "cpu_time": 99.0, "time_unit": "ns"}
+    ]})";
+
+  const auto base = parse_bench_json(base_json);
+  const auto regressed = parse_bench_json(regressed_json);
+  const auto unoptimized = parse_bench_json(unoptimized_json);
+  if (!base || !regressed || !unoptimized || base->series.size() != 2) {
+    std::fprintf(stderr, "self-test: parser failed on synthetic JSON\n");
+    return 1;
+  }
+
+  Options opts;
+  opts.max_regress_pct = 25.0;
+  std::printf("-- self-test: injected +80%% regression must be caught\n");
+  if (compare(opts, *base, *regressed) == 0) {
+    std::fprintf(stderr, "self-test: injected regression NOT caught\n");
+    return 1;
+  }
+  std::printf("-- self-test: identical files must pass\n");
+  if (compare(opts, *base, *base) != 0) {
+    std::fprintf(stderr, "self-test: identical files flagged\n");
+    return 1;
+  }
+  std::printf("-- self-test: missing series must be caught\n");
+  opts.series_filters = {"BM_B"};
+  if (compare(opts, *base, *unoptimized) == 0) {
+    std::fprintf(stderr, "self-test: missing series NOT caught\n");
+    return 1;
+  }
+  std::printf("-- self-test: unoptimized candidate must be rejected\n");
+  opts.series_filters = {"BM_A"};
+  opts.require_optimized = true;
+  if (compare(opts, *base, *unoptimized) == 0) {
+    std::fprintf(stderr, "self-test: unoptimized candidate NOT rejected\n");
+    return 1;
+  }
+  std::printf("self-test: all gates behave\n");
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_diff <baseline.json> <candidate.json>\n"
+      "                  [--series <substring>]... [--max-regress-pct <X>]\n"
+      "                  [--metric real_time|cpu_time] [--require-optimized]\n"
+      "       bench_diff --self-test\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      return self_test() == 0 ? 0 : 1;
+    } else if (arg == "--series" && i + 1 < argc) {
+      opts.series_filters.emplace_back(argv[++i]);
+    } else if (arg == "--max-regress-pct" && i + 1 < argc) {
+      opts.max_regress_pct = std::atof(argv[++i]);
+    } else if (arg == "--metric" && i + 1 < argc) {
+      const std::string metric = argv[++i];
+      if (metric == "cpu_time") {
+        opts.use_cpu_time = true;
+      } else if (metric != "real_time") {
+        usage();
+        return 2;
+      }
+    } else if (arg == "--require-optimized") {
+      opts.require_optimized = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    usage();
+    return 2;
+  }
+  const auto base = load_bench_file(positional[0]);
+  const auto cand = load_bench_file(positional[1]);
+  if (!base || !cand) return 2;
+  return compare(opts, *base, *cand) == 0 ? 0 : 1;
+}

@@ -145,6 +145,7 @@ ScenarioCache::snapshot() const {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     entries.reserve(map_.size());
+    // rv-lint: allow(unordered-iteration) — gathered unsorted, sorted below
     for (const auto& [key, entry] : map_) entries.emplace_back(key, entry);
   }
   std::sort(entries.begin(), entries.end(),

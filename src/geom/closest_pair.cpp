@@ -97,6 +97,9 @@ struct CellGrid {
     groups[key_of(pts[i])].push_back(i);
   }
   ExtremalPair best{0.0, -1, -1};
+  // Order-independent reduction: pair_beats is a total order, so the
+  // winning pair is the same whichever order the groups are visited in.
+  // rv-lint: allow(unordered-iteration)
   for (const auto& [key, members] : groups) {
     (void)key;
     for (std::size_t a = 0; a < members.size(); ++a) {

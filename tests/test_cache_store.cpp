@@ -408,7 +408,9 @@ TEST(CacheStoreFile, TruncatedFileLoadsThePrefixAndNeverCrashes) {
       EXPECT_EQ(stats.bad_files, 1u) << "keep=" << keep;
     } else {
       EXPECT_LE(partial.size(), cache.size()) << "keep=" << keep;
-      if (keep < full_size) EXPECT_GE(stats.skipped, 1u) << "keep=" << keep;
+      if (keep < full_size) {
+        EXPECT_GE(stats.skipped, 1u) << "keep=" << keep;
+      }
     }
   }
 }
@@ -435,6 +437,64 @@ TEST(CacheStoreFile, CorruptRecordIsSkippedNeighboursSurvive) {
   EXPECT_GE(stats.skipped, 1u);
   EXPECT_GE(stats.loaded, cache.size() - 2);
   EXPECT_LT(stats.loaded, cache.size());
+}
+
+TEST(CacheStoreFile, MalformedLengthRecordIsRejectedBeforeAllocation) {
+  // A record header may CLAIM any key/payload size; the loader must
+  // bounds-check the claim against the remaining bytes (and the
+  // absolute kMaxFieldSize cap) *before* allocating or reading — a
+  // corrupt length field is garbage, not an allocation request.  This
+  // pins the check the ASan leg of the sanitizer matrix watches: if
+  // the loader ever trusts the claimed length first, these inputs
+  // become huge allocations / out-of-bounds reads instead of a clean
+  // `skipped` count.
+  Scratch scratch;
+  ScenarioCache cache;
+  populate(small_all_family_set(), &cache);
+  const fs::path path = scratch.path / "evil.rvcache";
+  rv::engine::save_cache_file(path, cache);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 12u);
+
+  const auto u32 = [](std::uint32_t v) {
+    std::string out(4, '\0');
+    std::memcpy(out.data(), &v, 4);
+    return out;
+  };
+  constexpr std::uint32_t kMagic = 0x52435245;  // "ERCR"
+  struct Claim {
+    const char* what;
+    std::uint32_t key_size;
+    std::uint32_t payload_size;
+  };
+  const Claim claims[] = {
+      // Within the per-field cap but far beyond the file: only the
+      // remaining-bytes check stands between this and a ~512 MiB read.
+      {"sizes beyond the file", (1u << 28) - 16, (1u << 28) - 16},
+      // Beyond the per-field cap: must be rejected even though the
+      // u32 arithmetic would not overflow size_t.
+      {"key_size above kMaxFieldSize", 0xFFFFFFFFu, 8},
+      {"payload_size above kMaxFieldSize", 8, 0xFFFFFFFFu},
+  };
+  for (const Claim& claim : claims) {
+    // Splice the malicious record header between the file header and
+    // the valid records.
+    const std::string evil = bytes.substr(0, 12) + u32(kMagic) +
+                             u32(claim.key_size) + u32(claim.payload_size) +
+                             bytes.substr(12);
+    const fs::path evil_path = scratch.path / "spliced.rvcache";
+    std::ofstream(evil_path, std::ios::binary | std::ios::trunc) << evil;
+    ScenarioCache out;
+    const CacheLoadStats stats = rv::engine::load_cache_file(evil_path, &out);
+    EXPECT_EQ(stats.files, 1u) << claim.what;
+    EXPECT_EQ(stats.skipped, 1u) << claim.what;
+    // The reader resynchronises on the next record magic, so every
+    // genuine record after the lie still loads.
+    EXPECT_EQ(stats.loaded, cache.size()) << claim.what;
+    EXPECT_EQ(out.size(), cache.size()) << claim.what;
+  }
 }
 
 TEST(CacheStoreFile, MergeUnionsInputsFirstWriterWins) {

@@ -299,7 +299,9 @@ TEST(EventSolver, GrazingMissAndHitAgree) {
                                   SolverChoice::kAnalytic);
     ASSERT_EQ(bis.event, hit);
     ASSERT_EQ(ana.event, hit);
-    if (hit) EXPECT_NEAR(bis.time, ana.time, 1e-6);
+    if (hit) {
+      EXPECT_NEAR(bis.time, ana.time, 1e-6);
+    }
   }
 }
 

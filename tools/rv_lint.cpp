@@ -1,0 +1,1049 @@
+// rv_lint — the project's determinism / invariant linter.
+//
+// The engine's contract is *certified* output: byte-identical emission
+// at any thread count, bit-exact cache round-trips, sharded runs that
+// reproduce single-process bytes.  The compiler cannot check most of
+// what that contract depends on, so this tool enforces the
+// project-specific rules statically, the same way bench_diff gates the
+// perf trajectory: dependency-free, walking `src/ tools/ tests/`, and
+// wired into CTest + CI so a violation fails the build.
+//
+// Rules (slug — what it rejects):
+//   unordered-iteration  iterating a std::unordered_{map,set} in the
+//                        determinism-critical paths (src/engine, src/io,
+//                        src/geom, tools): iteration order is
+//                        implementation-defined and must never feed
+//                        emission, cache_key, or wire bytes.  Sort
+//                        first (see ScenarioCache::snapshot) and
+//                        document the reduction with an allow comment.
+//   nondeterminism       std::rand / srand / random_device / time( /
+//                        system_clock / steady_clock outside mathx/rng:
+//                        all randomness must flow through the seeded
+//                        deterministic engine rng.
+//   float-type           the `float` type inside src/engine and
+//                        src/geom: the certified sweep and kernels are
+//                        double-only; a narrowing anywhere in those
+//                        paths silently changes certified bytes.
+//   stdout-write         std::cout / printf / puts / putchar in library
+//                        code under src/: emitters format through
+//                        io::/ResultSet into caller-owned streams;
+//                        stray stdout corrupts machine-read documents
+//                        (rv_batch writes its result document there).
+//   catch-swallow        `catch (...)` whose body neither rethrows nor
+//                        captures via std::current_exception: a
+//                        swallowed exception turns a wrong answer into
+//                        a silent one.
+//   pragma-once          every header must open with #pragma once
+//                        before any other code or directive.
+//   wire-epoch           the serialized-schema guard: a normalized
+//                        hash of engine/wire.hpp + the outcome-struct
+//                        definitions + the cache_store payload
+//                        encoders is pinned, together with
+//                        kEngineCacheEpoch, in
+//                        tools/sanitizers/wire_schema.lock.  Changing
+//                        the schema without bumping the epoch (or
+//                        bumping without re-blessing the lock) fails.
+//
+// Escape hatch: a `// rv-lint: allow(<rule>)` comment on the finding's
+// line or the line directly above suppresses that rule there.  Use it
+// to bless the (rare) sites that are deterministic despite the
+// pattern, and say why next to it.
+//
+//   rv_lint [--root <dir>] [--verbose]    lint the tree, exit 1 on findings
+//   rv_lint --root <dir> --update-wire-lock   re-bless the wire schema
+//   rv_lint --self-test                   inject one violation per rule
+//                                         into a scratch tree and verify
+//                                         every rule (and the allow
+//                                         escape, and both wire-epoch
+//                                         failure modes) fires
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small utilities
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool write_file(const fs::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// FNV-1a 64-bit (same mix as the cache-store checksum; no dependency).
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Source model: raw text, a comment/string-stripped "code view" with
+// identical offsets/line structure, and the per-line allow() sets.
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  fs::path path;        ///< as walked (absolute or root-relative)
+  std::string rel;      ///< path relative to the lint root, '/'-separated
+  std::string raw;      ///< file bytes
+  std::string code;     ///< raw with comments + literal contents blanked
+  std::vector<std::set<std::string>> allows;  ///< per line (1-based index 0 unused)
+};
+
+/// Blanks comments, string/char literal contents, and raw strings with
+/// spaces (newlines kept), so rule matching cannot fire inside text
+/// that the compiler never executes.
+std::string strip_code(const std::string& in) {
+  std::string out = in;
+  std::size_t i = 0;
+  const std::size_t n = in.size();
+  auto blank = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to && k < n; ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  while (i < n) {
+    const char c = in[i];
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+      std::size_t end = in.find('\n', i);
+      if (end == std::string::npos) end = n;
+      blank(i, end);
+      i = end;
+    } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      std::size_t end = in.find("*/", i + 2);
+      end = end == std::string::npos ? n : end + 2;
+      blank(i, end);
+      i = end;
+    } else if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
+               (i == 0 || !ident_char(in[i - 1]))) {
+      // Raw string: R"delim( ... )delim"
+      const std::size_t open = in.find('(', i + 2);
+      if (open == std::string::npos) break;
+      const std::string delim = in.substr(i + 2, open - i - 2);
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = in.find(closer, open + 1);
+      end = end == std::string::npos ? n : end + closer.size();
+      blank(i + 2, end);
+      i = end;
+    } else if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && in[j] != c) {
+        j += in[j] == '\\' ? 2 : 1;
+      }
+      const std::size_t end = j < n ? j + 1 : n;
+      blank(i + 1, end - 1);
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+SourceFile load_source(const fs::path& path, const std::string& rel,
+                       std::string raw) {
+  SourceFile f;
+  f.path = path;
+  f.rel = rel;
+  f.raw = std::move(raw);
+  f.code = strip_code(f.raw);
+  // Per-line allow sets come from the *raw* text (the escapes live in
+  // comments, which the code view blanks).
+  f.allows.emplace_back();  // line 0 placeholder
+  std::size_t pos = 0;
+  while (pos <= f.raw.size()) {
+    std::size_t end = f.raw.find('\n', pos);
+    if (end == std::string::npos) end = f.raw.size();
+    const std::string_view line(f.raw.data() + pos, end - pos);
+    std::set<std::string> allowed;
+    std::size_t at = 0;
+    while ((at = line.find("rv-lint: allow(", at)) != std::string_view::npos) {
+      const std::size_t open = at + std::string_view("rv-lint: allow(").size();
+      const std::size_t close = line.find(')', open);
+      if (close == std::string_view::npos) break;
+      allowed.insert(std::string(line.substr(open, close - open)));
+      at = close;
+    }
+    f.allows.push_back(std::move(allowed));
+    if (end == f.raw.size()) break;
+    pos = end + 1;
+  }
+  return f;
+}
+
+std::size_t line_of(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(
+                                              std::min(offset, text.size())),
+                            '\n'));
+}
+
+struct Finding {
+  std::string rule;
+  std::string rel;
+  std::size_t line = 0;
+  std::string message;
+};
+
+class Linter {
+ public:
+  explicit Linter(bool verbose) : verbose_(verbose) {}
+
+  void report(const SourceFile& f, std::size_t offset, const char* rule,
+              std::string message) {
+    const std::size_t line = line_of(f.raw, offset);
+    if (allowed(f, line, rule)) {
+      if (verbose_) {
+        std::fprintf(stderr, "rv_lint: %s:%zu: %s allowed by escape\n",
+                     f.rel.c_str(), line, rule);
+      }
+      return;
+    }
+    findings.push_back({rule, f.rel, line, std::move(message)});
+  }
+
+  static bool allowed(const SourceFile& f, std::size_t line,
+                      const char* rule) {
+    const auto has = [&](std::size_t l) {
+      return l < f.allows.size() && f.allows[l].count(rule) != 0;
+    };
+    return has(line) || (line > 0 && has(line - 1));
+  }
+
+  std::vector<Finding> findings;
+
+ private:
+  bool verbose_;
+};
+
+// ---------------------------------------------------------------------------
+// Token search helpers on the code view
+// ---------------------------------------------------------------------------
+
+/// Offsets of `token` in `code` as a standalone identifier (not inside
+/// a longer identifier on either side).
+std::vector<std::size_t> find_ident(const std::string& code,
+                                    std::string_view token) {
+  std::vector<std::size_t> hits;
+  std::size_t at = 0;
+  while ((at = code.find(token, at)) != std::string::npos) {
+    const bool left_ok = at == 0 || !ident_char(code[at - 1]);
+    const std::size_t end = at + token.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) hits.push_back(at);
+    at = end;
+  }
+  return hits;
+}
+
+/// Offset of the character matching the opener at `open` ('(' / '{' /
+/// '<'), or npos.  Works on the code view, so literals cannot
+/// unbalance it.
+std::size_t match_at(const std::string& code, std::size_t open, char oc,
+                     char cc) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == oc) ++depth;
+    if (code[i] == cc && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+bool path_under(const std::string& rel, std::string_view prefix) {
+  return rel.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+void rule_pragma_once(Linter& lint, const SourceFile& f) {
+  if (f.path.extension() != ".hpp") return;
+  // First non-blank character of the code view (comments are blanked)
+  // must start `#pragma once`.
+  std::size_t i = 0;
+  while (i < f.code.size() &&
+         std::isspace(static_cast<unsigned char>(f.code[i]))) {
+    ++i;
+  }
+  if (f.code.compare(i, 12, "#pragma once") != 0) {
+    lint.report(f, i, "pragma-once",
+                "header must open with #pragma once (before any other "
+                "directive or code)");
+  }
+}
+
+void rule_nondeterminism(Linter& lint, const SourceFile& f) {
+  // mathx/rng is the one sanctioned randomness source.
+  if (f.rel.find("mathx/rng") != std::string::npos) return;
+  const char* tokens[] = {"srand",        "random_device", "system_clock",
+                          "steady_clock", "rand",          "time"};
+  for (const char* token : tokens) {
+    for (const std::size_t at : find_ident(f.code, token)) {
+      // rand/time only count as the libc calls when invoked: `rand(`,
+      // `time(` — otherwise common member names would fire.
+      if ((std::string_view(token) == "rand" ||
+           std::string_view(token) == "time")) {
+        std::size_t j = at + std::string_view(token).size();
+        while (j < f.code.size() && f.code[j] == ' ') ++j;
+        if (j >= f.code.size() || f.code[j] != '(') continue;
+        // Member access (`x.time(...)`) is not the libc call either.
+        if (at >= 1 && (f.code[at - 1] == '.' )) continue;
+      }
+      lint.report(f, at, "nondeterminism",
+                  std::string("'") + token +
+                      "' outside mathx/rng — all randomness/clocks must "
+                      "flow through the seeded deterministic rng");
+    }
+  }
+}
+
+void rule_float_type(Linter& lint, const SourceFile& f) {
+  if (!path_under(f.rel, "src/engine/") && !path_under(f.rel, "src/geom/")) {
+    return;
+  }
+  for (const std::size_t at : find_ident(f.code, "float")) {
+    lint.report(f, at, "float-type",
+                "'float' in certified numeric code — the sweep and "
+                "kernels are double-only (a narrowing here changes "
+                "certified bytes)");
+  }
+}
+
+void rule_stdout_write(Linter& lint, const SourceFile& f) {
+  if (!path_under(f.rel, "src/")) return;
+  const char* tokens[] = {"printf", "puts", "putchar"};
+  for (const std::size_t at : find_ident(f.code, "cout")) {
+    lint.report(f, at, "stdout-write",
+                "stdout write in library code — emit through io:: / "
+                "ResultSet into a caller-owned stream");
+  }
+  for (const char* token : tokens) {
+    for (const std::size_t at : find_ident(f.code, token)) {
+      std::size_t j = at + std::string_view(token).size();
+      while (j < f.code.size() && f.code[j] == ' ') ++j;
+      if (j >= f.code.size() || f.code[j] != '(') continue;
+      lint.report(f, at, "stdout-write",
+                  std::string("'") + token +
+                      "' in library code — emit through io:: / ResultSet "
+                      "into a caller-owned stream");
+    }
+  }
+}
+
+void rule_catch_swallow(Linter& lint, const SourceFile& f) {
+  for (const std::size_t at : find_ident(f.code, "catch")) {
+    const std::size_t open = f.code.find('(', at);
+    if (open == std::string::npos) continue;
+    const std::size_t close = match_at(f.code, open, '(', ')');
+    if (close == std::string::npos) continue;
+    std::string clause = f.code.substr(open + 1, close - open - 1);
+    clause.erase(std::remove_if(clause.begin(), clause.end(),
+                                [](char c) {
+                                  return std::isspace(
+                                      static_cast<unsigned char>(c));
+                                }),
+                 clause.end());
+    if (clause != "...") continue;
+    const std::size_t body_open = f.code.find('{', close);
+    if (body_open == std::string::npos) continue;
+    const std::size_t body_close = match_at(f.code, body_open, '{', '}');
+    if (body_close == std::string::npos) continue;
+    const std::string body =
+        f.code.substr(body_open, body_close - body_open + 1);
+    if (body.find("throw") != std::string::npos ||
+        body.find("current_exception") != std::string::npos ||
+        body.find("rethrow") != std::string::npos) {
+      continue;
+    }
+    lint.report(f, at, "catch-swallow",
+                "catch (...) that neither rethrows nor captures "
+                "std::current_exception — a swallowed exception turns a "
+                "wrong answer into a silent one");
+  }
+}
+
+/// Names declared with a std::unordered_{map,set} type in `code`
+/// (variables, members, parameters).
+void collect_unordered_names(const std::string& code,
+                             std::set<std::string>* names) {
+  for (const char* container : {"unordered_map", "unordered_set"}) {
+    for (const std::size_t at : find_ident(code, container)) {
+      // A declaration's template argument list opens right after the
+      // container name ( `#include <unordered_map>` does not).
+      std::size_t angle = at + std::string_view(container).size();
+      while (angle < code.size() && code[angle] == ' ') ++angle;
+      if (angle >= code.size() || code[angle] != '<') continue;
+      const std::size_t angle_close = match_at(code, angle, '<', '>');
+      if (angle_close == std::string::npos) continue;
+      std::size_t j = angle_close + 1;
+      while (j < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[j])) ||
+              code[j] == '&' || code[j] == '*')) {
+        ++j;
+      }
+      std::size_t end = j;
+      while (end < code.size() && ident_char(code[end])) ++end;
+      if (end > j) names->insert(code.substr(j, end - j));
+    }
+  }
+}
+
+void rule_unordered_iteration(Linter& lint, const SourceFile& f) {
+  if (!path_under(f.rel, "src/engine/") && !path_under(f.rel, "src/io/") &&
+      !path_under(f.rel, "src/geom/") && !path_under(f.rel, "tools/")) {
+    return;
+  }
+  // Collect names declared with an unordered container type — in this
+  // file AND in its sibling header (members like ScenarioCache::map_
+  // are declared in the .hpp and iterated in the .cpp) — then flag
+  // range-for iteration / explicit .begin() walks over them.
+  std::set<std::string> names;
+  collect_unordered_names(f.code, &names);
+  if (f.path.extension() == ".cpp") {
+    fs::path header = f.path;
+    header.replace_extension(".hpp");
+    if (const auto raw = read_file(header)) {
+      collect_unordered_names(strip_code(*raw), &names);
+    }
+  }
+  for (const std::string& name : names) {
+    for (const std::size_t at : find_ident(f.code, name)) {
+      // Range-for: `: name)` — scan left past whitespace for ':' that
+      // is not part of '::'.
+      std::size_t j = at;
+      while (j > 0 &&
+             std::isspace(static_cast<unsigned char>(f.code[j - 1]))) {
+        --j;
+      }
+      const bool range_for =
+          j > 0 && f.code[j - 1] == ':' && (j < 2 || f.code[j - 2] != ':');
+      const std::size_t after = at + name.size();
+      const bool begin_walk = f.code.compare(after, 7, ".begin(") == 0;
+      if (!range_for && !begin_walk) continue;
+      lint.report(
+          f, at, "unordered-iteration",
+          "iterating '" + name +
+              "' (unordered container) in a determinism-critical path — "
+              "iteration order is implementation-defined; sort first "
+              "(cf. ScenarioCache::snapshot) or document an "
+              "order-independent reduction with an allow escape");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire-epoch guard
+// ---------------------------------------------------------------------------
+
+/// `struct <name> { ... };` block, or nullopt.
+std::optional<std::string> extract_struct(const SourceFile& f,
+                                          const std::string& name) {
+  for (const std::size_t at : find_ident(f.code, name)) {
+    // Must be a definition: preceded by `struct`, followed by `{`.
+    std::size_t j = at + name.size();
+    while (j < f.code.size() &&
+           std::isspace(static_cast<unsigned char>(f.code[j]))) {
+      ++j;
+    }
+    if (j >= f.code.size() || f.code[j] != '{') continue;
+    const std::size_t close = match_at(f.code, j, '{', '}');
+    if (close == std::string::npos) continue;
+    std::size_t k = at;
+    while (k > 0 && std::isspace(static_cast<unsigned char>(f.code[k - 1]))) {
+      --k;
+    }
+    if (k < 6 || f.code.compare(k - 6, 6, "struct") != 0) continue;
+    return f.raw.substr(at, close - at + 1);
+  }
+  return std::nullopt;
+}
+
+/// `<name>(...) { ... }` function definition block, or nullopt.
+std::optional<std::string> extract_function(const SourceFile& f,
+                                            const std::string& name) {
+  for (const std::size_t at : find_ident(f.code, name)) {
+    std::size_t j = at + name.size();
+    while (j < f.code.size() &&
+           std::isspace(static_cast<unsigned char>(f.code[j]))) {
+      ++j;
+    }
+    if (j >= f.code.size() || f.code[j] != '(') continue;
+    const std::size_t args_close = match_at(f.code, j, '(', ')');
+    if (args_close == std::string::npos) continue;
+    std::size_t k = args_close + 1;
+    while (k < f.code.size() &&
+           std::isspace(static_cast<unsigned char>(f.code[k]))) {
+      ++k;
+    }
+    if (k >= f.code.size() || f.code[k] != '{') continue;  // a call, not a def
+    const std::size_t close = match_at(f.code, k, '{', '}');
+    if (close == std::string::npos) continue;
+    return f.raw.substr(at, close - at + 1);
+  }
+  return std::nullopt;
+}
+
+/// Comment-stripped, whitespace-collapsed: doc edits don't move the
+/// hash, any code/layout change of the schema does.
+std::string normalize(const std::string& text) {
+  const std::string code = strip_code(text);
+  std::string out;
+  out.reserve(code.size());
+  bool in_space = true;
+  for (const char c : code) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_space) out += ' ';
+      in_space = true;
+    } else {
+      out += c;
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+/// The serialized-schema surface: which files and which named blocks
+/// inside them define the cache wire format.  An empty block list
+/// means "the whole file".
+struct WireSurface {
+  const char* file;
+  std::vector<const char*> structs;
+  std::vector<const char*> functions;
+};
+
+const std::vector<WireSurface>& wire_surfaces() {
+  static const std::vector<WireSurface> surfaces = {
+      {"src/engine/wire.hpp", {}, {}},
+      {"src/sim/simulator.hpp", {"SimResult"}, {}},
+      {"src/gather/multi_simulator.hpp", {"GatherResult"}, {}},
+      {"src/rendezvous/core.hpp", {"Outcome"}, {}},
+      {"src/analysis/coverage.hpp", {"CoveragePoint"}, {}},
+      {"src/engine/families.hpp",
+       {"SearchOutcome", "GatherOutcome", "LinearOutcome", "CoverageOutcome"},
+       {}},
+      {"src/engine/cache_store.cpp",
+       {},
+       {"put_sim_result", "put_gather_result", "serialize_entry"}},
+  };
+  return surfaces;
+}
+
+constexpr const char* kWireLockRel = "tools/sanitizers/wire_schema.lock";
+constexpr const char* kEpochHeaderRel = "src/engine/cache_store.hpp";
+
+struct WireState {
+  std::string hash;   ///< hex digest of the normalized schema surface
+  long epoch = -1;    ///< kEngineCacheEpoch as committed in the header
+};
+
+std::optional<WireState> compute_wire_state(const fs::path& root,
+                                            std::string* error) {
+  std::string material;
+  for (const WireSurface& s : wire_surfaces()) {
+    const auto raw = read_file(root / s.file);
+    if (!raw) {
+      *error = std::string("cannot read ") + s.file;
+      return std::nullopt;
+    }
+    const SourceFile f = load_source(root / s.file, s.file, *raw);
+    material += std::string("== ") + s.file + "\n";
+    if (s.structs.empty() && s.functions.empty()) {
+      material += normalize(f.raw);
+      material += '\n';
+    }
+    for (const char* name : s.structs) {
+      const auto block = extract_struct(f, name);
+      if (!block) {
+        *error = std::string("struct ") + name + " not found in " + s.file +
+                 " (update the wire-surface list in tools/rv_lint.cpp)";
+        return std::nullopt;
+      }
+      material += normalize(*block);
+      material += '\n';
+    }
+    for (const char* name : s.functions) {
+      const auto block = extract_function(f, name);
+      if (!block) {
+        *error = std::string("function ") + name + " not found in " + s.file +
+                 " (update the wire-surface list in tools/rv_lint.cpp)";
+        return std::nullopt;
+      }
+      material += normalize(*block);
+      material += '\n';
+    }
+  }
+  const auto header = read_file(root / kEpochHeaderRel);
+  if (!header) {
+    *error = std::string("cannot read ") + kEpochHeaderRel;
+    return std::nullopt;
+  }
+  const std::string header_code = strip_code(*header);
+  const std::size_t at = header_code.find("kEngineCacheEpoch");
+  std::size_t eq = at == std::string::npos ? std::string::npos
+                                           : header_code.find('=', at);
+  if (eq == std::string::npos) {
+    *error = std::string("kEngineCacheEpoch not found in ") + kEpochHeaderRel;
+    return std::nullopt;
+  }
+  WireState state;
+  state.epoch = std::strtol(header_code.c_str() + eq + 1, nullptr, 10);
+  state.hash = hex64(fnv1a64(material));
+  return state;
+}
+
+std::optional<WireState> read_wire_lock(const fs::path& root) {
+  const auto text = read_file(root / kWireLockRel);
+  if (!text) return std::nullopt;
+  WireState state;
+  std::istringstream in(*text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "epoch") fields >> state.epoch;
+    if (key == "hash") fields >> state.hash;
+  }
+  if (state.epoch < 0 || state.hash.size() != 16) return std::nullopt;
+  return state;
+}
+
+bool write_wire_lock(const fs::path& root, const WireState& state) {
+  std::error_code ec;
+  fs::create_directories((root / kWireLockRel).parent_path(), ec);
+  std::ostringstream out;
+  out << "# wire_schema.lock — the blessed serialized-schema state.\n"
+      << "#\n"
+      << "# `rv_lint` hashes the cache wire surface (engine/wire.hpp, the\n"
+      << "# outcome structs, the cache_store payload encoders) and fails\n"
+      << "# when hash or kEngineCacheEpoch drift from this file: a schema\n"
+      << "# change requires an epoch bump, and both require re-blessing\n"
+      << "# with `rv_lint --update-wire-lock` in the same commit.\n"
+      << "epoch " << state.epoch << "\n"
+      << "hash " << state.hash << "\n";
+  return write_file(root / kWireLockRel, out.str());
+}
+
+/// Checks (or, with `update`, re-blesses) the wire schema.  Returns
+/// findings in the same stream as the textual rules.
+void rule_wire_epoch(Linter& lint, const fs::path& root, bool update) {
+  std::string error;
+  const auto current = compute_wire_state(root, &error);
+  SourceFile anchor;  // findings anchor at the lock file
+  anchor.rel = kWireLockRel;
+  anchor.raw = "";
+  anchor.allows.emplace_back();
+  if (!current) {
+    lint.findings.push_back({"wire-epoch", kWireLockRel, 1, error});
+    return;
+  }
+  if (update) {
+    if (!write_wire_lock(root, *current)) {
+      lint.findings.push_back({"wire-epoch", kWireLockRel, 1,
+                               "cannot write the wire-schema lock"});
+    } else {
+      std::printf("rv_lint: wire lock re-blessed: epoch %ld, hash %s\n",
+                  current->epoch, current->hash.c_str());
+    }
+    return;
+  }
+  const auto locked = read_wire_lock(root);
+  if (!locked) {
+    lint.findings.push_back(
+        {"wire-epoch", kWireLockRel, 1,
+         "missing or unreadable wire-schema lock — generate it with "
+         "`rv_lint --update-wire-lock` and commit it"});
+    return;
+  }
+  const bool hash_changed = current->hash != locked->hash;
+  const bool epoch_changed = current->epoch != locked->epoch;
+  if (hash_changed && !epoch_changed) {
+    lint.findings.push_back(
+        {"wire-epoch", kWireLockRel, 1,
+         "serialized schema changed (hash " + locked->hash + " -> " +
+             current->hash +
+             ") without a kEngineCacheEpoch bump: persisted caches from "
+             "the old engine would replay as current results.  Bump "
+             "kEngineCacheEpoch in src/engine/cache_store.hpp, then "
+             "re-bless with `rv_lint --update-wire-lock`"});
+  } else if (epoch_changed && !hash_changed) {
+    lint.findings.push_back(
+        {"wire-epoch", kWireLockRel, 1,
+         "kEngineCacheEpoch changed (" + std::to_string(locked->epoch) +
+             " -> " + std::to_string(current->epoch) +
+             ") but the lock was not re-blessed.  If the bump is "
+             "intentional (it invalidates every persisted cache), run "
+             "`rv_lint --update-wire-lock` and commit the lock with it"});
+  } else if (hash_changed && epoch_changed) {
+    lint.findings.push_back(
+        {"wire-epoch", kWireLockRel, 1,
+         "schema and epoch both changed but the lock still records epoch " +
+             std::to_string(locked->epoch) + " / hash " + locked->hash +
+             " — re-bless with `rv_lint --update-wire-lock` and commit "
+             "the lock in the same change"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tree walk + driver
+// ---------------------------------------------------------------------------
+
+std::vector<fs::path> collect_files(const fs::path& root) {
+  std::vector<fs::path> files;
+  for (const char* top : {"src", "tools", "tests"}) {
+    const fs::path dir = root / top;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file()) continue;
+      const fs::path& p = it->path();
+      if (p.extension() == ".cpp" || p.extension() == ".hpp") {
+        files.push_back(p);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int lint_tree(const fs::path& root, bool update_wire_lock, bool verbose) {
+  Linter lint(verbose);
+  for (const fs::path& path : collect_files(root)) {
+    const auto raw = read_file(path);
+    if (!raw) {
+      std::fprintf(stderr, "rv_lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    const std::string rel =
+        fs::relative(path, root).generic_string();
+    const SourceFile f = load_source(path, rel, *raw);
+    rule_pragma_once(lint, f);
+    rule_nondeterminism(lint, f);
+    rule_float_type(lint, f);
+    rule_stdout_write(lint, f);
+    rule_catch_swallow(lint, f);
+    rule_unordered_iteration(lint, f);
+  }
+  rule_wire_epoch(lint, root, update_wire_lock);
+  for (const Finding& finding : lint.findings) {
+    std::fprintf(stderr, "rv_lint: %s:%zu: [%s] %s\n", finding.rel.c_str(),
+                 finding.line, finding.rule.c_str(),
+                 finding.message.c_str());
+  }
+  if (!lint.findings.empty()) {
+    std::fprintf(stderr,
+                 "rv_lint: %zu finding(s).  Fix them, or bless a "
+                 "deliberately deterministic site with "
+                 "`// rv-lint: allow(<rule>)` and a why\n",
+                 lint.findings.size());
+    return 1;
+  }
+  if (verbose) std::printf("rv_lint: clean\n");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: every rule must demonstrably fire (and the allow escape
+// must demonstrably suppress) on an injected scratch tree.
+// ---------------------------------------------------------------------------
+
+struct SelfTree {
+  fs::path root;
+  explicit SelfTree(const char* tag) {
+    root = fs::temp_directory_path() /
+           (std::string("rv_lint_selftest_") + tag + "_" +
+            std::to_string(static_cast<unsigned>(
+                fnv1a64(fs::current_path().string()) & 0xffff)));
+    fs::remove_all(root);
+  }
+  ~SelfTree() {
+    std::error_code ec;
+    fs::remove_all(root, ec);
+  }
+  void put(const std::string& rel, const std::string& text) const {
+    const fs::path path = root / rel;
+    fs::create_directories(path.parent_path());
+    if (!write_file(path, text)) {
+      std::fprintf(stderr, "self-test: cannot write %s\n", path.c_str());
+      std::exit(2);
+    }
+  }
+};
+
+/// Lints `root` and returns the findings (no printing).
+std::vector<Finding> scan(const fs::path& root) {
+  Linter lint(false);
+  for (const fs::path& path : collect_files(root)) {
+    const auto raw = read_file(path);
+    if (!raw) continue;
+    const SourceFile f =
+        load_source(path, fs::relative(path, root).generic_string(), *raw);
+    rule_pragma_once(lint, f);
+    rule_nondeterminism(lint, f);
+    rule_float_type(lint, f);
+    rule_stdout_write(lint, f);
+    rule_catch_swallow(lint, f);
+    rule_unordered_iteration(lint, f);
+  }
+  return lint.findings;
+}
+
+int expect(const std::vector<Finding>& findings, const char* rule,
+           std::size_t count, const char* what) {
+  const std::size_t n = static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+  if (n != count) {
+    std::fprintf(stderr,
+                 "self-test FAIL: %s — expected %zu finding(s) of [%s], "
+                 "got %zu\n",
+                 what, count, rule, n);
+    for (const Finding& f : findings) {
+      std::fprintf(stderr, "  got: %s:%zu [%s] %s\n", f.rel.c_str(), f.line,
+                   f.rule.c_str(), f.message.c_str());
+    }
+    return 1;
+  }
+  std::printf("-- self-test: %-52s OK\n", what);
+  return 0;
+}
+
+/// Minimal but complete wire surface for the guard's self-test: every
+/// file + block the production surface list names, in miniature.
+void put_wire_surface(const SelfTree& tree, const char* sim_extra,
+                      int epoch) {
+  tree.put("src/engine/wire.hpp",
+           "#pragma once\nnamespace w { inline int put() { return 1; } }\n");
+  tree.put("src/sim/simulator.hpp",
+           std::string("#pragma once\nstruct SimResult { double t;") +
+               sim_extra + " };\n");
+  tree.put("src/gather/multi_simulator.hpp",
+           "#pragma once\nstruct GatherResult { double t; };\n");
+  tree.put("src/rendezvous/core.hpp",
+           "#pragma once\nstruct Outcome { double d; };\n");
+  tree.put("src/analysis/coverage.hpp",
+           "#pragma once\nstruct CoveragePoint { double f; };\n");
+  tree.put("src/engine/families.hpp",
+           "#pragma once\nstruct SearchOutcome { int found; };\n"
+           "struct GatherOutcome { int g; };\n"
+           "struct LinearOutcome { int l; };\n"
+           "struct CoverageOutcome { int c; };\n");
+  tree.put("src/engine/cache_store.cpp",
+           "void put_sim_result() { }\n"
+           "void put_gather_result() { }\n"
+           "void serialize_entry() { }\n");
+  tree.put("src/engine/cache_store.hpp",
+           "#pragma once\ninline constexpr unsigned kEngineCacheEpoch = " +
+               std::to_string(epoch) + ";\n");
+}
+
+int wire_guard_findings(const fs::path& root) {
+  Linter lint(false);
+  rule_wire_epoch(lint, root, false);
+  for (const Finding& f : lint.findings) {
+    std::printf("   (wire-epoch message: %s)\n", f.message.c_str());
+  }
+  return static_cast<int>(lint.findings.size());
+}
+
+int self_test() {
+  int failures = 0;
+
+  {  // --- textual rules: one injected violation each, then the escape
+    SelfTree tree("rules");
+    tree.put("src/engine/bad_float.hpp", "#pragma once\nfloat half(int);\n");
+    tree.put("src/sim/bad_rand.cpp",
+             "#include <cstdlib>\nint roll() { return std::rand(); }\n");
+    tree.put("src/mathx/rng.cpp",
+             "#include <random>\nint seed_entropy() { "
+             "return (int)std::random_device{}(); }\n");
+    tree.put("src/io/bad_print.cpp",
+             "#include <iostream>\nvoid shout() { std::cout << 1; }\n");
+    tree.put("src/engine/bad_catch.cpp",
+             "void f();\nvoid g() { try { f(); } catch (...) { } }\n");
+    tree.put("src/geom/bad_guard.hpp", "#include <vector>\n");
+    tree.put("src/engine/bad_iter.cpp",
+             "#include <unordered_map>\n"
+             "int sum(const std::unordered_map<int, int>& histogram) {\n"
+             "  int total = 0;\n"
+             "  for (const auto& [k, v] : histogram) total += v;\n"
+             "  return total;\n"
+             "}\n");
+    tree.put("tests/ok_comment.cpp",
+             "// std::rand() and float and std::cout in a comment\n"
+             "const char* s = \"time( puts( catch\";\n");
+    const auto findings = scan(tree.root);
+    failures += expect(findings, "float-type", 1, "float in src/engine fires");
+    failures += expect(findings, "nondeterminism", 1,
+                       "std::rand outside mathx/rng fires (rng exempt)");
+    failures += expect(findings, "stdout-write", 1, "std::cout in src/ fires");
+    failures += expect(findings, "catch-swallow", 1,
+                       "swallowing catch (...) fires");
+    failures += expect(findings, "pragma-once", 1,
+                       "header without #pragma once fires");
+    failures += expect(findings, "unordered-iteration", 1,
+                       "unordered range-for in src/engine fires");
+    // Exactly the six injected violations — nothing fired from the
+    // rng exemption file or from tokens inside comments/strings.
+    if (findings.size() != 6) {
+      std::fprintf(stderr,
+                   "self-test FAIL: expected exactly 6 findings, got %zu\n",
+                   findings.size());
+      for (const Finding& f : findings) {
+        std::fprintf(stderr, "  got: %s:%zu [%s]\n", f.rel.c_str(), f.line,
+                     f.rule.c_str());
+      }
+      ++failures;
+    } else {
+      std::printf("-- self-test: %-52s OK\n",
+                  "comments/strings/exempt paths fire nothing");
+    }
+  }
+
+  {  // --- the allow escape suppresses, on-line and line-above
+    SelfTree tree("allow");
+    tree.put("src/engine/blessed.cpp",
+             "#include <unordered_map>\n"
+             "int sum(const std::unordered_map<int, int>& histogram) {\n"
+             "  int total = 0;\n"
+             "  // rv-lint: allow(unordered-iteration) — order-independent sum\n"
+             "  for (const auto& [k, v] : histogram) total += v;\n"
+             "  return total;  // rv-lint: allow(float-type) wrong rule\n"
+             "}\n"
+             "float narrow();  // rv-lint: allow(float-type) blessed\n");
+    failures += expect(scan(tree.root), "unordered-iteration", 0,
+                       "allow() on the line above suppresses");
+    failures += expect(scan(tree.root), "float-type", 0,
+                       "allow() on the finding's own line suppresses");
+  }
+
+  {  // --- wire-epoch guard: blessed state passes
+    SelfTree tree("wire");
+    put_wire_surface(tree, "", 1);
+    Linter lint(false);
+    rule_wire_epoch(lint, tree.root, true);  // bless
+    const int blessed = wire_guard_findings(tree.root);
+    failures += expect(std::vector<Finding>(static_cast<std::size_t>(blessed),
+                                            {"wire-epoch", "", 1, ""}),
+                       "wire-epoch", 0, "blessed schema+epoch passes");
+
+    // Schema change without an epoch bump must fail.
+    put_wire_surface(tree, " double extra;", 1);
+    failures +=
+        expect(std::vector<Finding>(
+                   static_cast<std::size_t>(wire_guard_findings(tree.root)),
+                   {"wire-epoch", "", 1, ""}),
+               "wire-epoch", 1, "schema change without epoch bump fails");
+
+    // Epoch bump without re-blessing the lock must fail too.
+    put_wire_surface(tree, "", 2);
+    failures +=
+        expect(std::vector<Finding>(
+                   static_cast<std::size_t>(wire_guard_findings(tree.root)),
+                   {"wire-epoch", "", 1, ""}),
+               "wire-epoch", 1, "epoch bump without lock re-bless fails");
+
+    // Schema change + epoch bump + re-bless is the sanctioned workflow.
+    put_wire_surface(tree, " double extra;", 2);
+    Linter rebless(false);
+    rule_wire_epoch(rebless, tree.root, true);
+    failures +=
+        expect(std::vector<Finding>(
+                   static_cast<std::size_t>(wire_guard_findings(tree.root)),
+                   {"wire-epoch", "", 1, ""}),
+               "wire-epoch", 0, "schema change + bump + re-bless passes");
+
+    // A comment-only edit of a surface file must NOT move the hash.
+    tree.put("src/rendezvous/core.hpp",
+             "#pragma once\n// new doc comment\nstruct Outcome { double d; "
+             "};  // trailing\n");
+    failures +=
+        expect(std::vector<Finding>(
+                   static_cast<std::size_t>(wire_guard_findings(tree.root)),
+                   {"wire-epoch", "", 1, ""}),
+               "wire-epoch", 0, "comment-only schema edit keeps the hash");
+  }
+
+  if (failures == 0) std::printf("self-test: every rule fires and escapes\n");
+  return failures == 0 ? 0 : 1;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: rv_lint [--root <dir>] [--verbose]\n"
+               "       rv_lint --root <dir> --update-wire-lock\n"
+               "       rv_lint --self-test\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  bool update_wire_lock = false;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      return self_test();
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--update-wire-lock") {
+      update_wire_lock = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  std::error_code ec;
+  if (!fs::is_directory(root / "src", ec)) {
+    std::fprintf(stderr, "rv_lint: %s does not look like the repo root\n",
+                 root.c_str());
+    return 2;
+  }
+  return lint_tree(root, update_wire_lock, verbose);
+}

@@ -1,12 +1,15 @@
 #include "engine/cache_store.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 
+#include "engine/failpoint.hpp"
 #include "engine/wire.hpp"
 
 namespace rv::engine {
@@ -293,22 +296,48 @@ void save_cache_file(const std::filesystem::path& path,
   if (!path.parent_path().empty()) {
     std::filesystem::create_directories(path.parent_path());
   }
-  // Write-then-rename so a concurrent reader (another shard
-  // warm-loading the directory) never observes a half-written file;
-  // the pid suffix keeps retried duplicates of the same shard from
+  // Write-then-fsync-then-rename so neither a concurrent reader
+  // (another shard warm-loading the directory) nor a crash can ever
+  // observe a half-written file under the *final* name; the pid
+  // suffix keeps retried duplicates of the same shard from
   // interleaving on one temp file.
   const std::filesystem::path tmp =
       path.string() + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    file.write(out.data(), static_cast<std::streamsize>(out.size()));
-    file.flush();  // surface deferred write errors before the state check
-    if (!file) {
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      throw std::runtime_error("save_cache_file: cannot write " +
-                               tmp.string());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    throw std::runtime_error("save_cache_file: cannot create " + tmp.string());
+  }
+  bool ok = true;
+  std::size_t off = 0;
+  while (ok && off < out.size()) {
+    const ssize_t n = ::write(fd, out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+    } else {
+      off += static_cast<std::size_t>(n);
     }
+  }
+  // The crash/torn-write window the chaos suite targets: bytes are
+  // written but the file is not yet durable or published.  A `crash`
+  // here leaves only the temp file (never a torn final file); a
+  // `torn_write(n)` truncates to n bytes and lets publication proceed,
+  // exercising the loader's per-record checksum recovery.
+  const failpoint::Hit torn = RV_FAILPOINT_EVAL("cache_store.save.pre_rename");
+  if (torn.fired && torn.action == failpoint::Action::kTornWrite) {
+    const std::uint64_t keep =
+        std::min<std::uint64_t>(torn.arg, static_cast<std::uint64_t>(out.size()));
+    ok = ok && ::ftruncate(fd, static_cast<off_t>(keep)) == 0;
+  }
+  // fsync before the rename: the rename must never become durable
+  // ahead of the data it publishes.
+  ok = ok && ::fsync(fd) == 0;
+  ok = (::close(fd) == 0) && ok;
+  if (!ok) {
+    std::error_code rm_ec;
+    std::filesystem::remove(tmp, rm_ec);
+    throw std::runtime_error("save_cache_file: cannot write " + tmp.string());
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
@@ -316,6 +345,17 @@ void save_cache_file(const std::filesystem::path& path,
     std::filesystem::remove(tmp, ec);
     throw std::runtime_error("save_cache_file: cannot publish " +
                              path.string());
+  }
+  // ...and fsync the directory after, so the rename itself survives a
+  // power cut.  Best effort: some filesystems refuse O_RDONLY opens of
+  // directories, and the data above is already safe.
+  const std::filesystem::path parent =
+      path.parent_path().empty() ? std::filesystem::path(".")
+                                 : path.parent_path();
+  const int dirfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd >= 0) {
+    (void)::fsync(dirfd);
+    (void)::close(dirfd);
   }
 }
 
@@ -391,6 +431,11 @@ CacheLoadStats load_cache_file(const std::filesystem::path& path,
     pos = next == std::string::npos ? data.size() : next;
   };
   while (pos < data.size()) {
+    // Chaos site for load-path faults: an `error` action turns a
+    // record parse into a thrown failure (so a shard warm-load can be
+    // made to die and exercise the supervisor's retry), a `delay`
+    // slows the load for timeout testing.
+    RV_FAILPOINT("cache_store.load.record");
     const std::size_t remaining = data.size() - pos;
     if (remaining < 12) {  // record header: magic + key_size + payload_size
       flag_bad();

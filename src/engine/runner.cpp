@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "engine/failpoint.hpp"
 #include "rendezvous/feasibility.hpp"
 
 namespace rv::engine {
@@ -594,6 +595,9 @@ ResultSet run_scenarios(const std::vector<WorkItem>& work,
     for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
       const WorkItem& item = work[i];
       try {
+        // Chaos site: an `error` action lands in this catch and
+        // surfaces through ResultSet like any scenario failure.
+        RV_FAILPOINT_AT("runner.work.item", i);
         RunRecord rec;
         rec.family = item.family;
         rec.label = item.label;

@@ -1,10 +1,33 @@
 #include "engine/shard.hpp"
 
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "engine/cache_store.hpp"
+#include "engine/failpoint.hpp"
+
 namespace rv::engine {
+
+namespace {
+
+/// "1, 4, 7" for small lists; elides the tail past `cap` so a merge
+/// missing thousands of items stays one readable line.
+std::string join_indices(const std::vector<std::size_t>& indices,
+                         std::size_t cap = 16) {
+  std::string out;
+  for (std::size_t k = 0; k < indices.size() && k < cap; ++k) {
+    if (k > 0) out += ", ";
+    out += std::to_string(indices[k]);
+  }
+  if (indices.size() > cap) {
+    out += ", ... (" + std::to_string(indices.size() - cap) + " more)";
+  }
+  return out;
+}
+
+}  // namespace
 
 ShardPlan shard_plan(std::size_t total, std::size_t shard,
                      std::size_t num_shards) {
@@ -41,10 +64,21 @@ std::vector<WorkItem> shard_work(const std::vector<WorkItem>& work,
 
 ResultSet run_shard(const std::vector<WorkItem>& work, const ShardPlan& plan,
                     RunnerOptions options) {
+  // Chaos site: lets the supervisor tests kill/delay a specific shard
+  // after planning but before any scenario executes.
+  RV_FAILPOINT_AT("shard.worker.mid_run", plan.shard);
   return run_scenarios(shard_work(work, plan), options);
 }
 
-ResultSet merge_shards(const std::vector<ShardResult>& shards) {
+std::string shard_file_name(const std::string& set_name, std::size_t shard,
+                            std::size_t num_shards) {
+  return (set_name.empty() ? std::string("<set>") : set_name) + "-shard-" +
+         std::to_string(shard) + "-of-" + std::to_string(num_shards) +
+         kCacheFileExtension;
+}
+
+ResultSet merge_shards(const std::vector<ShardResult>& shards,
+                       const std::string& set_name) {
   if (shards.empty()) return ResultSet{};
   const std::size_t total = shards[0].plan.total;
   const std::size_t num_shards = shards[0].plan.num_shards;
@@ -65,10 +99,18 @@ ResultSet merge_shards(const std::vector<ShardResult>& shards) {
     }
     for (std::size_t k = 0; k < shard.plan.indices.size(); ++k) {
       const std::size_t i = shard.plan.indices[k];
-      if (i >= total || placed[i]) {
+      if (i >= total) {
         throw std::invalid_argument(
-            "merge_shards: item index " + std::to_string(i) +
-            " out of range or covered twice");
+            "merge_shards: shard " + std::to_string(shard.plan.shard) +
+            " claims global item index " + std::to_string(i) +
+            " but the set has only " + std::to_string(total) + " items");
+      }
+      if (placed[i]) {
+        throw std::invalid_argument(
+            "merge_shards: global item index " + std::to_string(i) +
+            " covered twice — shard " + std::to_string(i % num_shards) +
+            " (" + shard_file_name(set_name, i % num_shards, num_shards) +
+            ") appears more than once in the merge input");
       }
       records[i] = shard.results[k];
       placed[i] = true;
@@ -77,12 +119,25 @@ ResultSet merge_shards(const std::vector<ShardResult>& shards) {
     stats.misses += shard.results.cache_stats().misses;
     stats.uncacheable += shard.results.cache_stats().uncacheable;
   }
+  std::vector<std::size_t> missing;
   for (std::size_t i = 0; i < total; ++i) {
-    if (!placed[i]) {
-      throw std::invalid_argument("merge_shards: item index " +
-                                  std::to_string(i) +
-                                  " covered by no shard (incomplete merge)");
+    if (!placed[i]) missing.push_back(i);
+  }
+  if (!missing.empty()) {
+    // Name the shards that own the holes and the cache files an
+    // operator must re-drive; the strided rule makes ownership a pure
+    // function of the index.
+    std::set<std::size_t> missing_shards;
+    for (const std::size_t i : missing) missing_shards.insert(i % num_shards);
+    std::string files;
+    for (const std::size_t s : missing_shards) {
+      if (!files.empty()) files += ", ";
+      files += shard_file_name(set_name, s, num_shards);
     }
+    throw std::invalid_argument(
+        "merge_shards: incomplete merge — global item indices {" +
+        join_indices(missing) + "} covered by no shard; re-drive shard file" +
+        (missing_shards.size() == 1 ? "" : "s") + " " + files);
   }
   ResultSet merged(std::move(records));
   merged.set_cache_stats(stats);

@@ -27,6 +27,7 @@
 ///    produce the same bytes.
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "engine/families.hpp"
@@ -72,12 +73,24 @@ struct ShardResult {
   ResultSet results;  ///< records in plan order (as returned by run_shard)
 };
 
+/// The canonical cache file name of one shard of a set:
+/// `<set>-shard-<I>-of-<N>.rvcache` (a "<set>" placeholder stands in
+/// when `set_name` is empty).  This is the file `rv_batch run --shard
+/// I/N --cache-dir` writes and the one merge diagnostics point
+/// operators at.
+[[nodiscard]] std::string shard_file_name(const std::string& set_name,
+                                          std::size_t shard,
+                                          std::size_t num_shards);
+
 /// Reassembles per-shard results into the single-process `ResultSet`:
 /// every record is placed at its global index and the shards' cache
 /// counters are summed.  \throws std::invalid_argument when the plans
 /// disagree on total/num_shards, a slice's size does not match its
-/// plan, or the union does not cover every index exactly once.
-[[nodiscard]] ResultSet merge_shards(const std::vector<ShardResult>& shards);
+/// plan, or the union does not cover every index exactly once — the
+/// incomplete/duplicate messages name the affected global indices and
+/// the shard cache file (via `set_name`) to re-drive.
+[[nodiscard]] ResultSet merge_shards(const std::vector<ShardResult>& shards,
+                                     const std::string& set_name = "");
 
 /// Convenience: materialises `set`, runs all `num_shards` shards as
 /// separate `run_scenarios` calls (sequentially, sharing `options` —

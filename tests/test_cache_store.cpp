@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "engine/cache_store.hpp"
+#include "engine/failpoint.hpp"
 #include "engine/families.hpp"
 #include "engine/runner.hpp"
 #include "engine/scenario_set.hpp"
@@ -556,6 +560,66 @@ TEST(CacheStoreDir, LoadsEveryCacheFileInNameOrder) {
       rv::engine::load_cache_dir(scratch.path / "absent", &empty);
   EXPECT_EQ(none.files, 0u);
   EXPECT_EQ(empty.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint-armed durability pins (engine/failpoint.hpp): the
+// write-fsync-rename discipline must mean a crash before the rename
+// never publishes a file, and a torn write is skipped — never a crash —
+// by the per-record checksum recovery.
+// ---------------------------------------------------------------------------
+
+TEST(CacheStoreFailpoints, CrashBeforeRenameLeavesNoFinalFile) {
+  Scratch scratch;
+  ScenarioCache cache;
+  populate(small_all_family_set(), &cache);
+  const fs::path file = scratch.path / "crashed.rvcache";
+  // The child arms the site and crashes mid-save: the data is written
+  // to the temp file but the atomic rename never runs, so the final
+  // name must not exist — a concurrent warm-loader can never observe a
+  // half-written published file.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    rv::engine::failpoint::arm("cache_store.save.pre_rename=crash(86)");
+    rv::engine::save_cache_file(file, cache);
+    _exit(0);  // unreachable when the failpoint fires
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 86);
+  EXPECT_FALSE(fs::exists(file));
+  // The exact same save succeeds once nothing is armed (this process
+  // never armed anything), and the file round-trips in full.
+  rv::engine::save_cache_file(file, cache);
+  ScenarioCache loaded;
+  const CacheLoadStats stats = rv::engine::load_cache_file(file, &loaded);
+  EXPECT_EQ(stats.loaded, 5u);
+  EXPECT_EQ(stats.bad_files, 0u);
+}
+
+TEST(CacheStoreFailpoints, TornWriteIsSkippedNeverACrash) {
+  Scratch scratch;
+  ScenarioCache cache;
+  populate(small_all_family_set(), &cache);
+  const fs::path file = scratch.path / "torn.rvcache";
+  rv::engine::failpoint::arm("cache_store.save.pre_rename=torn_write(20)");
+  rv::engine::save_cache_file(file, cache);
+  rv::engine::failpoint::disarm_all();
+  // 20 bytes keep the header but tear the first record: the loader
+  // reports the damage and loads nothing — it must not crash and must
+  // not fabricate entries.
+  ASSERT_TRUE(fs::exists(file));
+  EXPECT_EQ(fs::file_size(file), 20u);
+  ScenarioCache loaded;
+  const CacheLoadStats stats = rv::engine::load_cache_file(file, &loaded);
+  EXPECT_EQ(stats.loaded, 0u);
+  EXPECT_EQ(loaded.size(), 0u);
+  // An intact save over the torn file heals it completely.
+  rv::engine::save_cache_file(file, cache);
+  ScenarioCache healed;
+  EXPECT_EQ(rv::engine::load_cache_file(file, &healed).loaded, 5u);
 }
 
 }  // namespace

@@ -20,7 +20,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <sys/wait.h>
 #include <vector>
@@ -172,6 +175,129 @@ TEST(GoldenBatch, ForkedProcsModeMatchesSingleProcessBytes) {
   ASSERT_TRUE(single.has_value());
   ASSERT_TRUE(forked.has_value());
   EXPECT_EQ(*forked, *single);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos pins: failpoint-armed shard runs (engine/failpoint.hpp) under
+// the supervisor must either recover to the exact fault-free bytes or
+// degrade with a documented exit code and coverage report.  The specs
+// ride in on RV_FAILPOINTS, so only the rv_batch child processes are
+// armed — this test binary never is.
+// ---------------------------------------------------------------------------
+
+struct RunStatus {
+  int code = -1;       ///< process exit code (-1: spawn failure/signal)
+  std::string stdout_text;
+};
+
+/// Like run_and_capture, but returns the exit code instead of failing
+/// on it — chaos cases assert specific nonzero codes.
+RunStatus run_status(const std::string& cmd) {
+  RunStatus result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << cmd;
+    return result;
+  }
+  char buffer[4096];
+  std::size_t n;
+  while ((n = fread(buffer, 1, sizeof buffer, pipe)) > 0) {
+    result.stdout_text.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.code = WEXITSTATUS(status);
+  return result;
+}
+
+class GoldenBatchChaos : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fs::exists(rv_batch_binary())) {
+      GTEST_SKIP() << rv_batch_binary() << " not built";
+    }
+  }
+};
+
+TEST_F(GoldenBatchChaos, CrashedShardIsRetriedToFaultFreeBytes) {
+  const auto single = run_and_capture(batch_cmd("run --set linear-line"));
+  ASSERT_TRUE(single.has_value());
+  Scratch scratch;
+  // Shard 1's worker crashes on its first attempt only (limit=1 in the
+  // fork-shared counter slab); --retries 2 must re-execute just that
+  // shard and the merged document must be byte-identical.
+  const RunStatus chaos = run_status(
+      "RV_FAILPOINTS='shard.worker.start=crash(87),index=1,limit=1' " +
+      batch_cmd("run --set linear-line --procs 3 --retries 2 --backoff-ms 10"
+                " --cache-dir '" +
+                (scratch.path / "cache").string() + "' 2>/dev/null"));
+  EXPECT_EQ(chaos.code, 0);
+  EXPECT_EQ(chaos.stdout_text, *single)
+      << "retried chaos run drifted from the fault-free bytes";
+}
+
+TEST_F(GoldenBatchChaos, TornShardWritesHealToFaultFreeBytes) {
+  const auto single = run_and_capture(batch_cmd("run --set linear-line"));
+  ASSERT_TRUE(single.has_value());
+  Scratch scratch;
+  // Every shard cache save is torn to 48 bytes: the merge loader skips
+  // the damage and the final pass recomputes the holes — the output
+  // bytes must not change.
+  const RunStatus chaos = run_status(
+      "RV_FAILPOINTS='cache_store.save.pre_rename=torn_write(48)' " +
+      batch_cmd("run --set linear-line --procs 2 --cache-dir '" +
+                (scratch.path / "cache").string() + "' 2>/dev/null"));
+  EXPECT_EQ(chaos.code, 0);
+  EXPECT_EQ(chaos.stdout_text, *single);
+}
+
+TEST_F(GoldenBatchChaos, ExhaustedRetriesFailWithExitCode4AndNoDocument) {
+  Scratch scratch;
+  // The crash has no limit: every attempt of shard 1 dies, the budget
+  // (--retries 1 = 2 attempts) runs out, and default mode must exit
+  // with the documented code 4 while emitting NO partial document.
+  const RunStatus chaos = run_status(
+      "RV_FAILPOINTS='shard.worker.start=crash(87),index=1' " +
+      batch_cmd("run --set linear-line --procs 3 --retries 1 --backoff-ms 10"
+                " --cache-dir '" +
+                (scratch.path / "cache").string() + "' 2>/dev/null"));
+  EXPECT_EQ(chaos.code, 4);
+  EXPECT_TRUE(chaos.stdout_text.empty())
+      << "default mode must not emit a partial document";
+}
+
+TEST_F(GoldenBatchChaos, PartialEmitsSurvivingSubsetAndCoverageReport) {
+  const auto single = run_and_capture(batch_cmd("run --set linear-line"));
+  ASSERT_TRUE(single.has_value());
+  Scratch scratch;
+  const fs::path errfile = scratch.path / "stderr.txt";
+  const RunStatus chaos = run_status(
+      "RV_FAILPOINTS='shard.worker.start=crash(87),index=1' " +
+      batch_cmd("run --set linear-line --procs 3 --retries 1 --backoff-ms 10"
+                " --partial --cache-dir '" +
+                (scratch.path / "cache").string() + "' 2>'" +
+                errfile.string() + "'"));
+  EXPECT_EQ(chaos.code, 0) << "--partial degrades gracefully";
+  // linear-line has 4 items; shard 1 of 3 owns exactly global index 1,
+  // so the surviving subset is the full document minus that row (data
+  // row 1 = line index 2, after the header).
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(*single);
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 5u);  // header + 4 rows
+  const std::string expect_subset =
+      lines[0] + "\n" + lines[1] + "\n" + lines[3] + "\n" + lines[4] + "\n";
+  EXPECT_EQ(chaos.stdout_text, expect_subset);
+  // The machine-readable coverage report names the missing pieces.
+  std::ifstream err(errfile);
+  const std::string err_text((std::istreambuf_iterator<char>(err)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_NE(err_text.find("\"failed_shards\": [1]"), std::string::npos)
+      << err_text;
+  EXPECT_NE(err_text.find("\"missing_indices\": [1]"), std::string::npos)
+      << err_text;
+  EXPECT_NE(err_text.find("shard  attempt  outcome"), std::string::npos)
+      << err_text;
 }
 
 TEST(GoldenBatch, ListedSetsArePinned) {

@@ -191,6 +191,53 @@ TEST(MergeShardsTest, RejectsIncompleteAndInconsistentMerges) {
                std::invalid_argument);
 }
 
+TEST(MergeShardsTest, MissingCoverageNamesIndicesAndShardFile) {
+  const ScenarioSet set = family_set(Family::kLinear);  // 4 items
+  const std::vector<WorkItem> work = set.materialize_work();
+  RunnerOptions options;
+  options.threads = 1;
+  ShardResult shard0{rv::engine::shard_plan(work.size(), 0, 2), ResultSet{}};
+  shard0.results = rv::engine::run_shard(work, shard0.plan, options);
+  try {
+    (void)rv::engine::merge_shards({shard0}, "myset");
+    FAIL() << "incomplete merge did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    // Shard 1 of 2 over 4 items owns global indices 1 and 3; the error
+    // must name them and the cache file to re-drive.
+    EXPECT_NE(what.find("incomplete"), std::string::npos) << what;
+    EXPECT_NE(what.find("{1, 3}"), std::string::npos) << what;
+    EXPECT_NE(what.find("myset-shard-1-of-2.rvcache"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(MergeShardsTest, DuplicateCoverageNamesIndexAndShardFile) {
+  const ScenarioSet set = family_set(Family::kLinear);
+  const std::vector<WorkItem> work = set.materialize_work();
+  RunnerOptions options;
+  options.threads = 1;
+  ShardResult shard0{rv::engine::shard_plan(work.size(), 0, 2), ResultSet{}};
+  shard0.results = rv::engine::run_shard(work, shard0.plan, options);
+  try {
+    (void)rv::engine::merge_shards({shard0, shard0}, "myset");
+    FAIL() << "duplicate merge did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("covered twice"), std::string::npos) << what;
+    EXPECT_NE(what.find("index 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("myset-shard-0-of-2.rvcache"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ShardFileNameTest, FormatsSetShardAndPlaceholder) {
+  EXPECT_EQ(rv::engine::shard_file_name("linear-line", 1, 3),
+            "linear-line-shard-1-of-3.rvcache");
+  EXPECT_EQ(rv::engine::shard_file_name("", 0, 2),
+            "<set>-shard-0-of-2.rvcache");
+}
+
 TEST(MergeShardsTest, EmptyMergeIsEmpty) {
   const ResultSet merged = rv::engine::merge_shards({});
   EXPECT_TRUE(merged.empty());

@@ -15,16 +15,26 @@
 //   rv_batch run   --set NAME [--shard I/N] [--cache-dir DIR]
 //                  [--procs P] [--threads T] [--format csv|json|table]
 //                  [--out FILE] [--require-all-hits]
+//                  [--retries R] [--shard-timeout SEC] [--backoff-ms MS]
+//                  [--partial]
 //   rv_batch merge --set NAME --cache-dir DIR [--format ...] [--out FILE]
 //                  [--require-all-hits] [--write-merged]
 //   rv_batch cache-stats --cache-dir DIR
 //
+// Fork mode (--procs P) runs under a shard supervisor
+// (engine/supervisor.hpp): each shard gets a per-attempt deadline
+// (--shard-timeout), failed/killed/timed-out shards are retried —
+// only they — up to --retries times with exponential backoff
+// (--backoff-ms base), and a per-shard attempt/latency/exit-status
+// table plus a JSON coverage report land on stderr when anything
+// failed.  By default an exhausted shard makes the whole run fail
+// loudly (exit 4, no document); --partial instead emits the surviving
+// subset in global-index order and exits 0, leaving the coverage
+// report (failed shards, missing global item indices) on stderr.
+//
 // The result document goes to stdout (or --out); diagnostics go to
 // stderr.  Exit codes: 0 success, 1 usage error, 2 execution failure,
-// 3 --require-all-hits violation.
-
-#include <unistd.h>
-#include <sys/wait.h>
+// 3 --require-all-hits violation, 4 shards failed after retries.
 
 #include <algorithm>
 #include <cstddef>
@@ -34,13 +44,16 @@
 #include <iostream>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/cache_store.hpp"
+#include "engine/failpoint.hpp"
 #include "engine/runner.hpp"
 #include "engine/shard.hpp"
+#include "engine/supervisor.hpp"
 #include "io/args.hpp"
 #include "rv_batch_sets.hpp"
 
@@ -51,11 +64,21 @@ using rv::engine::CacheLoadStats;
 using rv::engine::ResultSet;
 using rv::engine::ScenarioCache;
 using rv::engine::ShardPlan;
+using rv::engine::SupervisorOptions;
+using rv::engine::SupervisorReport;
 using rv::engine::WorkItem;
 
 constexpr int kExitUsage = 1;
 constexpr int kExitFailure = 2;
 constexpr int kExitMissedHits = 3;
+constexpr int kExitShardsFailed = 4;
+
+/// Thrown when shards exhaust their attempt budget in default
+/// (all-or-nothing) mode; mapped to kExitShardsFailed in main so
+/// operators can distinguish "a shard died" from generic failures.
+struct ShardFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct ShardSpec {
   std::size_t shard = 0;
@@ -147,9 +170,8 @@ int check_all_hits(bool required, const rv::engine::CacheStats& stats) {
 /// each other's files.
 fs::path shard_cache_path(const fs::path& dir, const std::string& set_name,
                           const ShardSpec& spec) {
-  return dir / (set_name + "-shard-" + std::to_string(spec.shard) + "-of-" +
-                std::to_string(spec.num_shards) +
-                rv::engine::kCacheFileExtension);
+  return dir /
+         rv::engine::shard_file_name(set_name, spec.shard, spec.num_shards);
 }
 
 /// Runs one shard (or, with num_shards == 1, the whole set): warm-loads
@@ -199,12 +221,25 @@ ResultSet run_one_shard(const std::vector<WorkItem>& work,
   return results;
 }
 
-/// `run --procs P`: forks P children, each executing shard p/P with the
-/// shared cache directory, then replays the merged cache into the full
-/// set in this process.  \returns the final results (all hits).
+/// Fork-mode knobs beyond the worker count.
+struct ForkOptions {
+  unsigned threads = 0;            ///< per-child thread budget (0 = split hw)
+  SupervisorOptions supervisor;    ///< retries / deadline / backoff
+  bool partial = false;            ///< emit surviving subset on failure
+};
+
+/// `run --procs P`: supervises P children (engine/supervisor.hpp), each
+/// executing shard p/P with the shared cache directory, then replays
+/// the merged cache into the full set in this process.  Failed shards
+/// are retried per `options.supervisor`; with every shard eventually
+/// succeeding the merge covers the full set (all hits).  When shards
+/// exhaust their budget, the attempt table and a JSON coverage report
+/// go to stderr, then either a ShardFailure escapes (default) or —
+/// with `options.partial` — the surviving subset is replayed and
+/// returned in global-index order.
 ResultSet run_forked(const std::vector<WorkItem>& work,
                      const std::string& set_name, std::size_t procs,
-                     unsigned threads, const fs::path& cache_dir) {
+                     const fs::path& cache_dir, const ForkOptions& options) {
   // Warm-load the directory once, before forking: the children inherit
   // the populated cache copy-on-write instead of each re-parsing every
   // file.
@@ -214,58 +249,65 @@ ResultSet run_forked(const std::vector<WorkItem>& work,
   // defaulting to hardware concurrency would oversubscribe the box
   // P-fold.  An explicit --threads T is taken as the per-process
   // budget the operator asked for and left alone.
-  unsigned child_threads = threads;
+  unsigned child_threads = options.threads;
   if (child_threads == 0) {
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     child_threads = std::max(1u, hw / static_cast<unsigned>(procs));
   }
-  std::vector<pid_t> children;
-  children.reserve(procs);
-  for (std::size_t p = 0; p < procs; ++p) {
-    const pid_t pid = fork();
-    if (pid < 0) {
-      // Reap the shards already spawned before giving up, so no orphan
-      // keeps writing into the cache directory after we exit.
-      for (const pid_t child : children) waitpid(child, nullptr, 0);
-      throw std::runtime_error("fork failed");
+  const auto child_main = [&](std::size_t p) -> int {
+    // Chaos site: crash/delay/error a worker at its very first
+    // instruction — the supervisor must detect and retry it.
+    RV_FAILPOINT_AT("shard.worker.start", p);
+    (void)run_one_shard(work, set_name, {p, procs}, child_threads, cache_dir,
+                        &warm);
+    return 0;
+  };
+  const SupervisorReport report =
+      rv::engine::supervise_shards(procs, child_main, options.supervisor);
+  if (report.any_failures()) {
+    std::cerr << "rv_batch: shard attempt log:\n" << report.table();
+  }
+  rv::engine::RunnerOptions run_options;
+  run_options.threads = options.threads;
+  if (!report.complete()) {
+    std::cerr << report.to_json(work.size());
+    const std::vector<std::size_t> failed = report.failed_shards();
+    std::string failed_list;
+    for (const std::size_t s : failed) {
+      if (!failed_list.empty()) failed_list += ", ";
+      failed_list += std::to_string(s);
     }
-    if (pid == 0) {
-      // Child: compute shard p, persist its cache file, and leave
-      // without touching stdout or running parent cleanup.
-      int status = 0;
-      try {
-        (void)run_one_shard(work, set_name, {p, procs}, child_threads,
-                            cache_dir, &warm);
-      } catch (const std::exception& e) {
-        std::cerr << "rv_batch[shard " << p << "/" << procs
-                  << "]: " << e.what() << "\n";
-        status = kExitFailure;
+    if (!options.partial) {
+      throw ShardFailure(std::to_string(failed.size()) + " of " +
+                         std::to_string(procs) +
+                         " shard(s) failed after retries: {" + failed_list +
+                         "} (rerun with --partial for the surviving subset)");
+    }
+    // Graceful degradation: replay only the items owned by surviving
+    // shards, in ascending global-index order, so the emitted subset is
+    // byte-identical to the corresponding rows of the full document.
+    std::vector<WorkItem> subset;
+    subset.reserve(work.size());
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (std::find(failed.begin(), failed.end(), i % procs) == failed.end()) {
+        subset.push_back(work[i]);
       }
-      std::cerr.flush();
-      _exit(status);
     }
-    children.push_back(pid);
-  }
-  bool failed = false;
-  for (const pid_t pid : children) {
-    int status = 0;
-    if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
-        WEXITSTATUS(status) != 0) {
-      failed = true;
-    }
-  }
-  if (failed) {
-    throw std::runtime_error("a shard worker process failed");
+    std::cerr << "rv_batch: --partial: emitting " << subset.size() << " of "
+              << work.size() << " items (shards {" << failed_list
+              << "} missing)\n";
+    ScenarioCache cache;
+    print_load_stats("merged", rv::engine::load_cache_dir(cache_dir, &cache));
+    run_options.cache = &cache;
+    return rv::engine::run_scenarios(subset, run_options);
   }
   // Merge: replay every persisted outcome into the full set.  All
   // cacheable items hit, so this recomputes nothing and reproduces the
   // single-process bytes.
   ScenarioCache cache;
   print_load_stats("merged", rv::engine::load_cache_dir(cache_dir, &cache));
-  rv::engine::RunnerOptions options;
-  options.threads = threads;
-  options.cache = &cache;
-  return rv::engine::run_scenarios(work, options);
+  run_options.cache = &cache;
+  return rv::engine::run_scenarios(work, run_options);
 }
 
 int cmd_list() {
@@ -289,6 +331,26 @@ int cmd_run(rv::io::Args& args) {
     throw std::invalid_argument("--procs must be >= 1, got " +
                                 std::to_string(procs));
   }
+  const int retries = args.get_int("retries");
+  const double shard_timeout = args.get_double("shard-timeout");
+  const int backoff_ms = args.get_int("backoff-ms");
+  const bool partial = args.get_bool("partial");
+  if (retries < 0) {
+    throw std::invalid_argument("--retries must be >= 0, got " +
+                                std::to_string(retries));
+  }
+  if (shard_timeout < 0.0) {
+    throw std::invalid_argument("--shard-timeout must be >= 0 seconds");
+  }
+  if (backoff_ms < 0) {
+    throw std::invalid_argument("--backoff-ms must be >= 0, got " +
+                                std::to_string(backoff_ms));
+  }
+  if (procs == 1 && (retries > 0 || shard_timeout > 0.0 || partial)) {
+    throw std::invalid_argument(
+        "--retries/--shard-timeout/--partial apply to fork mode only "
+        "(need --procs > 1)");
+  }
 
   ResultSet results;
   rv::engine::CacheStats stats;
@@ -301,8 +363,15 @@ int cmd_run(rv::io::Args& args) {
           "--procs needs --cache-dir (the shard hand-off point)");
     }
     fs::create_directories(cache_dir);
+    ForkOptions fork_options;
+    fork_options.threads = threads;
+    fork_options.supervisor.retries = static_cast<std::size_t>(retries);
+    fork_options.supervisor.timeout_sec = shard_timeout;
+    fork_options.supervisor.backoff_ms =
+        static_cast<std::uint64_t>(backoff_ms);
+    fork_options.partial = partial;
     results = run_forked(work, set_name, static_cast<std::size_t>(procs),
-                         threads, cache_dir);
+                         cache_dir, fork_options);
     stats = results.cache_stats();
   } else {
     const ShardSpec spec =
@@ -373,9 +442,13 @@ void usage(std::ostream& os) {
      << "  run   --set NAME          run a set (optionally one shard of it)\n"
      << "        [--shard I/N] [--procs P] [--cache-dir DIR] [--threads T]\n"
      << "        [--format csv|json|table] [--out FILE] [--require-all-hits]\n"
+     << "        [--retries R] [--shard-timeout SEC] [--backoff-ms MS]\n"
+     << "        [--partial]       (supervisor knobs; fork mode only)\n"
      << "  merge --set NAME --cache-dir DIR   replay shard caches into the\n"
      << "        single-process document      [--write-merged] [...run flags]\n"
-     << "  cache-stats --cache-dir DIR        describe the cache files\n";
+     << "  cache-stats --cache-dir DIR        describe the cache files\n"
+     << "exit codes: 0 ok, 1 usage, 2 failure, 3 --require-all-hits missed,\n"
+     << "            4 shards failed after retries (see docs/OPERATIONS.md)\n";
 }
 
 }  // namespace
@@ -402,6 +475,15 @@ int main(int argc, char** argv) {
                     "fail (exit 3) unless every item replayed from cache");
   args.declare_bool("write-merged",
                     "merge: also write the union as merged.rvcache");
+  args.declare_int("retries", 0,
+                   "fork mode: extra attempts per failed shard (0 = fail fast)");
+  args.declare_double("shard-timeout", 0.0,
+                      "fork mode: per-attempt deadline in seconds (0 = none)");
+  args.declare_int("backoff-ms", 100,
+                   "fork mode: base retry backoff in milliseconds");
+  args.declare_bool("partial",
+                    "fork mode: emit surviving subset (exit 0) when shards "
+                    "exhaust retries, instead of failing with exit 4");
   try {
     args.parse(argc - 1, argv + 1);
     if (args.help_requested()) {
@@ -415,6 +497,9 @@ int main(int argc, char** argv) {
     std::cerr << "rv_batch: unknown command '" << command << "'\n";
     usage(std::cerr);
     return kExitUsage;
+  } catch (const ShardFailure& e) {
+    std::cerr << "rv_batch: " << e.what() << "\n";
+    return kExitShardsFailed;
   } catch (const std::invalid_argument& e) {
     std::cerr << "rv_batch: " << e.what() << "\n";
     return kExitUsage;

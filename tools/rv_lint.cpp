@@ -35,6 +35,11 @@
 //                        a silent one.
 //   pragma-once          every header must open with #pragma once
 //                        before any other code or directive.
+//   failpoint-site       RV_FAILPOINT* macro invocations in src/ and
+//                        tools/ whose literal site name is malformed
+//                        (must match [a-z0-9_.]+, the RV_FAILPOINTS
+//                        spec grammar) or duplicates another site: a
+//                        spec must target exactly one place.
 //   wire-epoch           the serialized-schema guard: a normalized
 //                        hash of engine/wire.hpp + the outcome-struct
 //                        definitions + the cache_store payload
@@ -472,6 +477,75 @@ void rule_unordered_iteration(Linter& lint, const SourceFile& f) {
 }
 
 // ---------------------------------------------------------------------------
+// Failpoint sites (cross-file uniqueness)
+// ---------------------------------------------------------------------------
+
+/// name -> (rel, line) of its first occurrence, accumulated across the
+/// whole tree walk (duplicates are reported at later occurrences).
+using FailpointSites = std::map<std::string, std::pair<std::string,
+                                                       std::size_t>>;
+
+bool valid_failpoint_site_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void rule_failpoint_site(Linter& lint, const SourceFile& f,
+                         FailpointSites* sites) {
+  // Production sites live in src/ and tools/ — that is the namespace
+  // RV_FAILPOINTS specs address.  Tests arm ad-hoc names freely.
+  if (!path_under(f.rel, "src/") && !path_under(f.rel, "tools/")) return;
+  for (const char* macro :
+       {"RV_FAILPOINT", "RV_FAILPOINT_AT", "RV_FAILPOINT_EVAL"}) {
+    for (const std::size_t at : find_ident(f.code, macro)) {
+      // Only literal-name invocations: `RV_FAILPOINT("a.b")`.  The
+      // `#define RV_FAILPOINT(site)` lines have an identifier there
+      // instead and fall through.
+      std::size_t j = at + std::string_view(macro).size();
+      while (j < f.code.size() &&
+             std::isspace(static_cast<unsigned char>(f.code[j]))) {
+        ++j;
+      }
+      if (j >= f.code.size() || f.code[j] != '(') continue;
+      ++j;
+      while (j < f.code.size() &&
+             std::isspace(static_cast<unsigned char>(f.code[j]))) {
+        ++j;
+      }
+      if (j >= f.code.size() || f.code[j] != '"') continue;
+      const std::size_t close = f.code.find('"', j + 1);
+      if (close == std::string::npos) continue;
+      // The code view blanks literal contents at identical offsets, so
+      // the name bytes come from the raw text.
+      const std::string name = f.raw.substr(j + 1, close - j - 1);
+      if (!valid_failpoint_site_name(name)) {
+        lint.report(f, at, "failpoint-site",
+                    "failpoint site '" + name +
+                        "' must match [a-z0-9_.]+ (the RV_FAILPOINTS "
+                        "spec grammar cannot address anything else)");
+        continue;
+      }
+      const auto it = sites->find(name);
+      if (it != sites->end()) {
+        lint.report(f, at, "failpoint-site",
+                    "duplicate failpoint site '" + name +
+                        "' (also declared at " + it->second.first + ":" +
+                        std::to_string(it->second.second) +
+                        ") — site names must be unique so a spec targets "
+                        "exactly one place");
+      } else {
+        (*sites)[name] = {f.rel, line_of(f.raw, at)};
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Wire-epoch guard
 // ---------------------------------------------------------------------------
 
@@ -751,6 +825,7 @@ std::vector<fs::path> collect_files(const fs::path& root) {
 
 int lint_tree(const fs::path& root, bool update_wire_lock, bool verbose) {
   Linter lint(verbose);
+  FailpointSites sites;
   for (const fs::path& path : collect_files(root)) {
     const auto raw = read_file(path);
     if (!raw) {
@@ -766,6 +841,7 @@ int lint_tree(const fs::path& root, bool update_wire_lock, bool verbose) {
     rule_stdout_write(lint, f);
     rule_catch_swallow(lint, f);
     rule_unordered_iteration(lint, f);
+    rule_failpoint_site(lint, f, &sites);
   }
   rule_wire_epoch(lint, root, update_wire_lock);
   for (const Finding& finding : lint.findings) {
@@ -816,6 +892,7 @@ struct SelfTree {
 /// Lints `root` and returns the findings (no printing).
 std::vector<Finding> scan(const fs::path& root) {
   Linter lint(false);
+  FailpointSites sites;
   for (const fs::path& path : collect_files(root)) {
     const auto raw = read_file(path);
     if (!raw) continue;
@@ -827,6 +904,7 @@ std::vector<Finding> scan(const fs::path& root) {
     rule_stdout_write(lint, f);
     rule_catch_swallow(lint, f);
     rule_unordered_iteration(lint, f);
+    rule_failpoint_site(lint, f, &sites);
   }
   return lint.findings;
 }
@@ -941,6 +1019,34 @@ int self_test() {
       std::printf("-- self-test: %-52s OK\n",
                   "comments/strings/exempt paths fire nothing");
     }
+  }
+
+  {  // --- failpoint-site: duplicate and bad-charset sites fire
+    SelfTree tree("failpoint");
+    tree.put("src/engine/a.cpp",
+             "void fa() { RV_FAILPOINT(\"site.one\"); }\n");
+    tree.put("src/engine/b.cpp",
+             "void fb(int i) { RV_FAILPOINT_AT(\"site.one\", i); }\n");
+    tree.put("src/engine/c.cpp",
+             "void fc() { (void)RV_FAILPOINT_EVAL(\"Bad.Site\"); }\n");
+    // #define lines and non-literal names are not declarations; test
+    // code may reuse production names freely.
+    tree.put("src/engine/d.hpp",
+             "#pragma once\n#define RV_FAILPOINT(site) do { } while (0)\n"
+             "void fd(const char* s);\n");
+    tree.put("tests/t.cpp", "void ft() { RV_FAILPOINT(\"site.one\"); }\n");
+    const auto findings = scan(tree.root);
+    failures += expect(findings, "failpoint-site", 2,
+                       "duplicate + bad-charset failpoint sites fire");
+
+    SelfTree blessed("failpoint_allow");
+    blessed.put("src/engine/a.cpp",
+                "void fa() { RV_FAILPOINT(\"site.one\"); }\n");
+    blessed.put("src/engine/b.cpp",
+                "// rv-lint: allow(failpoint-site) — deliberately shared\n"
+                "void fb() { RV_FAILPOINT(\"site.one\"); }\n");
+    failures += expect(scan(blessed.root), "failpoint-site", 0,
+                       "allow() escape blesses a shared failpoint site");
   }
 
   {  // --- the allow escape suppresses, on-line and line-above

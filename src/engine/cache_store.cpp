@@ -5,8 +5,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
+#include <ratio>
 #include <stdexcept>
 
 #include "engine/failpoint.hpp"
@@ -484,14 +486,124 @@ CacheLoadStats load_cache_dir(const std::filesystem::path& dir,
 
 CacheLoadStats merge_cache_files(
     const std::vector<std::filesystem::path>& inputs,
-    const std::filesystem::path& output) {
+    const std::filesystem::path& output,
+    std::vector<CacheLoadStats>* per_file) {
+  // `output` may alias an input: all loads complete before the save
+  // starts, and the save is atomic-by-rename (see save_cache_file), so
+  // an aliased input is replaced in one step, never torn.
   ScenarioCache merged;
   CacheLoadStats stats;
   for (const std::filesystem::path& input : inputs) {
-    stats.add(load_cache_file(input, &merged));
+    const CacheLoadStats file_stats = load_cache_file(input, &merged);
+    if (per_file != nullptr) per_file->push_back(file_stats);
+    stats.add(file_stats);
   }
   save_cache_file(output, merged);
   return stats;
+}
+
+CompactResult compact_cache_dir(const std::filesystem::path& dir,
+                                const CompactOptions& options) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) {
+    throw std::runtime_error("compact_cache_dir: not a directory: " +
+                             dir.string());
+  }
+  CompactResult result;
+  result.output = dir / options.output_name;
+
+  struct Input {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uintmax_t bytes = 0;
+  };
+  std::vector<Input> inputs;
+  for (const fs::path& file : list_cache_files(dir)) {
+    std::error_code ec;
+    Input input;
+    input.path = file;
+    input.mtime = fs::last_write_time(file, ec);
+    if (!ec) input.bytes = fs::file_size(file, ec);
+    if (ec) continue;  // vanished between listing and stat: nothing to do
+    inputs.push_back(std::move(input));
+  }
+
+  // Age eviction: anything older than the cutoff never gets merged.
+  std::vector<Input> evicted_age;
+  if (options.max_age_days > 0.0) {
+    const auto now = fs::file_time_type::clock::now();
+    const auto limit = std::chrono::duration_cast<fs::file_time_type::duration>(
+        std::chrono::duration<double, std::ratio<86400>>(options.max_age_days));
+    const fs::file_time_type cutoff = now - limit;
+    std::vector<Input> kept;
+    for (Input& input : inputs) {
+      (input.mtime < cutoff ? evicted_age : kept).push_back(std::move(input));
+    }
+    inputs = std::move(kept);
+  }
+
+  // Byte budget: evict oldest first (mtime, then path — deterministic)
+  // until the surviving inputs fit.
+  const auto oldest_first = [](const Input& a, const Input& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path < b.path;
+  };
+  std::sort(evicted_age.begin(), evicted_age.end(), oldest_first);
+  std::vector<Input> evicted_budget;
+  if (options.max_bytes > 0) {
+    std::sort(inputs.begin(), inputs.end(), oldest_first);
+    std::uintmax_t total = 0;
+    for (const Input& input : inputs) total += input.bytes;
+    std::size_t victim = 0;
+    while (victim < inputs.size() && total > options.max_bytes) {
+      total -= inputs[victim].bytes;
+      evicted_budget.push_back(std::move(inputs[victim]));
+      ++victim;
+    }
+    inputs.erase(inputs.begin(), inputs.begin() + victim);
+  }
+
+  // Merge the survivors in sorted-file-name order — the same order and
+  // first-writer-wins rule as load_cache_dir, so a warm run sees
+  // identical entries before and after compaction.  The previous
+  // output file, when present, is among the inputs (merge_cache_files
+  // is alias-safe).
+  std::vector<fs::path> merge_paths;
+  merge_paths.reserve(inputs.size());
+  for (const Input& input : inputs) merge_paths.push_back(input.path);
+  std::sort(merge_paths.begin(), merge_paths.end());
+  std::vector<CacheLoadStats> per_file;
+  result.stats = merge_cache_files(merge_paths, result.output, &per_file);
+  result.entries = result.stats.loaded;
+  for (std::size_t i = 0; i < merge_paths.size(); ++i) {
+    CompactResult::FileReport report;
+    report.path = merge_paths[i];
+    report.stats = per_file[i];
+    report.disposition = per_file[i].bad_files > 0
+                             ? CompactResult::Disposition::kDroppedBad
+                             : CompactResult::Disposition::kMerged;
+    result.files.push_back(std::move(report));
+  }
+  for (const Input& input : evicted_age) {
+    result.files.push_back(CompactResult::FileReport{
+        input.path, CompactResult::Disposition::kEvictedAge, {}});
+  }
+  for (const Input& input : evicted_budget) {
+    result.files.push_back(CompactResult::FileReport{
+        input.path, CompactResult::Disposition::kEvictedBudget, {}});
+  }
+
+  // The output is safely on disk (atomic rename): delete every
+  // original input, evicted or merged, except the output itself.
+  for (const CompactResult::FileReport& report : result.files) {
+    if (report.path == result.output) continue;
+    std::error_code ec;
+    fs::remove(report.path, ec);  // a vanished input is already gone
+  }
+  std::error_code ec;
+  result.output_bytes = fs::file_size(result.output, ec);
+  if (ec) result.output_bytes = 0;
+  return result;
 }
 
 }  // namespace rv::engine

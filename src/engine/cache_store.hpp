@@ -113,10 +113,75 @@ CacheLoadStats load_cache_dir(const std::filesystem::path& dir,
 
 /// Merges cache files: loads every input (in order, first writer wins
 /// per key) and saves the union to `output`.  Returns the combined
-/// load counters.  \throws std::runtime_error when `output` cannot be
-/// written.
+/// load counters; when `per_file` is non-null it receives one
+/// `CacheLoadStats` per input, in input order (so callers can tell
+/// which file a `bad_files` or `skipped` count came from).
+///
+/// `output` may alias one of `inputs`: every input is fully loaded
+/// into memory *before* the save starts, and the save itself is
+/// atomic-by-rename (written to a temp file, fsynced, renamed), so an
+/// aliased input is read in its entirety and then replaced in one
+/// step — never read and rewritten concurrently.  `compact_cache_dir`
+/// relies on this when re-compacting a directory whose previous
+/// `compact.rvcache` is among the inputs (pinned in
+/// tests/test_cache_store.cpp).  \throws std::runtime_error when
+/// `output` cannot be written.
 CacheLoadStats merge_cache_files(
     const std::vector<std::filesystem::path>& inputs,
-    const std::filesystem::path& output);
+    const std::filesystem::path& output,
+    std::vector<CacheLoadStats>* per_file = nullptr);
+
+/// Options of `compact_cache_dir`.
+struct CompactOptions {
+  /// When > 0, inputs whose mtime is older than this many days are
+  /// evicted (deleted without being merged).
+  double max_age_days = 0.0;
+  /// When > 0, a byte budget over the surviving inputs: files are
+  /// evicted **oldest first** (by mtime, ties broken by path — a
+  /// deterministic victim order) until the remaining inputs fit.
+  std::uintmax_t max_bytes = 0;
+  /// File name of the merged output inside the directory.
+  std::string output_name = "compact.rvcache";
+};
+
+/// What `compact_cache_dir` did, file by file.
+struct CompactResult {
+  /// What happened to one input file.
+  enum class Disposition {
+    kMerged,         ///< loaded and folded into the output
+    kDroppedBad,     ///< bad header / wrong engine epoch — deleted unmerged
+    kEvictedAge,     ///< older than `max_age_days` — deleted unmerged
+    kEvictedBudget,  ///< evicted oldest-first to fit `max_bytes`
+  };
+  struct FileReport {
+    std::filesystem::path path;
+    Disposition disposition = Disposition::kMerged;
+    /// Per-file load counters (meaningful for kMerged/kDroppedBad;
+    /// evicted files are never opened).
+    CacheLoadStats stats;
+  };
+  /// Every input file: merged/dropped ones first (in load order, i.e.
+  /// sorted by file name), then age evictions, then budget evictions
+  /// (each oldest first).
+  std::vector<FileReport> files;
+  CacheLoadStats stats;            ///< combined counters over loaded inputs
+  std::size_t entries = 0;         ///< distinct keys written to the output
+  std::uintmax_t output_bytes = 0; ///< size of the written output file
+  std::filesystem::path output;    ///< `dir / options.output_name`
+};
+
+/// Compacts a cache directory in place: evicts inputs per
+/// `CompactOptions` (age first, then the byte budget, oldest first),
+/// merges every surviving `*.rvcache` file in sorted-file-name order
+/// (first writer wins per key — the same order and dedupe rule as
+/// `load_cache_dir`, so a warm run loads identical entries before and
+/// after), writes the union to `options.output_name`, and deletes
+/// every original input.  Files with a bad header or a wrong engine
+/// epoch are dropped (deleted, never merged).  The previous output
+/// file, when present, is just another input — re-compacting is
+/// idempotent.  \throws std::runtime_error when `dir` is not a
+/// directory or the output cannot be written.
+CompactResult compact_cache_dir(const std::filesystem::path& dir,
+                                const CompactOptions& options = {});
 
 }  // namespace rv::engine

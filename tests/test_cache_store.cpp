@@ -10,6 +10,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -560,6 +561,248 @@ TEST(CacheStoreDir, LoadsEveryCacheFileInNameOrder) {
       rv::engine::load_cache_dir(scratch.path / "absent", &empty);
   EXPECT_EQ(none.files, 0u);
   EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST(CacheStoreFile, MergeOutputMayAliasAnInput) {
+  // Pinned contract from cache_store.hpp: `output` may alias one of
+  // `inputs`.  Every input is fully loaded before the save starts and
+  // the save is atomic-by-rename, so merging "into" an input replaces
+  // it with the union in one step.  compact_cache_dir leans on this
+  // when the previous compact.rvcache is among the inputs.
+  Scratch scratch;
+  ScenarioCache a;
+  populate(small_all_family_set(), &a);
+
+  rv::engine::ScenarioSet extra;
+  rv::engine::SearchCell other;
+  other.angles = 2;
+  other.distance = 2.0;
+  other.visibility = 0.5;
+  other.max_time = 1e3;
+  extra.add_search(other);
+  ScenarioCache b;
+  populate(extra, &b);
+
+  const fs::path file_a = scratch.path / "a.rvcache";
+  const fs::path file_b = scratch.path / "b.rvcache";
+  rv::engine::save_cache_file(file_a, a);
+  rv::engine::save_cache_file(file_b, b);
+
+  std::vector<CacheLoadStats> per_file;
+  const CacheLoadStats stats =
+      rv::engine::merge_cache_files({file_a, file_b}, file_a, &per_file);
+  EXPECT_EQ(stats.files, 2u);
+  EXPECT_EQ(stats.loaded, 6u);
+  ASSERT_EQ(per_file.size(), 2u);
+  EXPECT_EQ(per_file[0].loaded, 5u);
+  EXPECT_EQ(per_file[1].loaded, 1u);
+
+  // file_a now holds the union; file_b is untouched.
+  ScenarioCache out;
+  EXPECT_EQ(rv::engine::load_cache_file(file_a, &out).loaded, 6u);
+  EXPECT_EQ(out.size(), 6u);
+  ScenarioCache b_again;
+  EXPECT_EQ(rv::engine::load_cache_file(file_b, &b_again).loaded, 1u);
+
+  // Degenerate self-merge: the union of {a} written onto a is a no-op
+  // byte-for-byte (sorted-by-key saves are canonical).
+  std::ifstream before_stream(file_a, std::ios::binary);
+  const std::string before((std::istreambuf_iterator<char>(before_stream)),
+                           std::istreambuf_iterator<char>());
+  (void)rv::engine::merge_cache_files({file_a}, file_a);
+  std::ifstream after_stream(file_a, std::ios::binary);
+  const std::string after((std::istreambuf_iterator<char>(after_stream)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(before, after);
+  EXPECT_FALSE(before.empty());
+}
+
+// ---------------------------------------------------------------------------
+// compact_cache_dir: merge + dedupe + wrong-epoch drop, age and byte
+// budget eviction with a deterministic oldest-first victim order, and
+// idempotent re-compaction (the previous output is just another input).
+// ---------------------------------------------------------------------------
+
+namespace compact_helpers {
+
+using rv::engine::CompactResult;
+using Disposition = rv::engine::CompactResult::Disposition;
+
+/// Saves `cache` under `name` inside `dir` and returns the path.
+fs::path save_as(const fs::path& dir, const std::string& name,
+                 const ScenarioCache& cache) {
+  const fs::path path = dir / name;
+  rv::engine::save_cache_file(path, cache);
+  return path;
+}
+
+/// Rewrites `path` with its engine-epoch field flipped (offset 8).
+void flip_epoch(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 8u);
+  bytes[8] = static_cast<char>(bytes[8] ^ 0xFF);
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+}
+
+/// Backdates `path` by `hours` relative to its current mtime — a
+/// deterministic offset, not a wall-clock race.
+void backdate(const fs::path& path, int hours) {
+  const auto now = fs::last_write_time(path);
+  fs::last_write_time(path, now - std::chrono::hours(hours));
+}
+
+/// The disposition recorded for `name`, or nullopt when absent.
+const CompactResult::FileReport* report_for(const CompactResult& result,
+                                            const std::string& name) {
+  for (const auto& report : result.files) {
+    if (report.path.filename() == name) return &report;
+  }
+  return nullptr;
+}
+
+}  // namespace compact_helpers
+
+TEST(CacheStoreCompact, MergesDedupesAndDropsWrongEpochFiles) {
+  using namespace compact_helpers;
+  Scratch scratch;
+  ScenarioCache cache;
+  populate(small_all_family_set(), &cache);
+  save_as(scratch.path, "shard-0.rvcache", cache);
+  save_as(scratch.path, "shard-1.rvcache", cache);  // pure duplicates
+  flip_epoch(save_as(scratch.path, "old-epoch.rvcache", cache));
+  std::ofstream(scratch.path / "notes.txt") << "ignored";
+
+  const auto result = rv::engine::compact_cache_dir(scratch.path);
+  EXPECT_EQ(result.entries, 5u);
+  EXPECT_EQ(result.stats.loaded, 5u);
+  EXPECT_EQ(result.stats.duplicates, 5u);
+  EXPECT_EQ(result.stats.bad_files, 1u);
+  ASSERT_EQ(result.files.size(), 3u);
+  ASSERT_NE(report_for(result, "old-epoch.rvcache"), nullptr);
+  EXPECT_EQ(report_for(result, "old-epoch.rvcache")->disposition,
+            Disposition::kDroppedBad);
+  EXPECT_EQ(report_for(result, "shard-0.rvcache")->disposition,
+            Disposition::kMerged);
+  EXPECT_EQ(report_for(result, "shard-1.rvcache")->disposition,
+            Disposition::kMerged);
+
+  // The directory holds exactly the output (plus the non-cache file);
+  // a warm dir load sees the same 5 entries the shards held.
+  EXPECT_EQ(result.output, scratch.path / "compact.rvcache");
+  const auto files = rv::engine::list_cache_files(scratch.path);
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0], result.output);
+  EXPECT_TRUE(fs::exists(scratch.path / "notes.txt"));
+  EXPECT_EQ(fs::file_size(result.output), result.output_bytes);
+  ScenarioCache warm;
+  EXPECT_EQ(rv::engine::load_cache_dir(scratch.path, &warm).loaded, 5u);
+}
+
+TEST(CacheStoreCompact, EvictsByAgeWithoutOpeningTheFile) {
+  using namespace compact_helpers;
+  Scratch scratch;
+  ScenarioCache cache;
+  populate(small_all_family_set(), &cache);
+
+  rv::engine::ScenarioSet extra;
+  rv::engine::SearchCell other;
+  other.angles = 2;
+  other.distance = 2.0;
+  other.visibility = 0.5;
+  other.max_time = 1e3;
+  extra.add_search(other);
+  ScenarioCache stale;
+  populate(extra, &stale);
+
+  save_as(scratch.path, "fresh.rvcache", cache);
+  backdate(save_as(scratch.path, "stale.rvcache", stale), 10 * 24);
+
+  rv::engine::CompactOptions options;
+  options.max_age_days = 5.0;
+  const auto result = rv::engine::compact_cache_dir(scratch.path, options);
+  ASSERT_NE(report_for(result, "stale.rvcache"), nullptr);
+  EXPECT_EQ(report_for(result, "stale.rvcache")->disposition,
+            Disposition::kEvictedAge);
+  // Evicted files are never opened: their stats stay zero.
+  EXPECT_EQ(report_for(result, "stale.rvcache")->stats.files, 0u);
+  EXPECT_EQ(report_for(result, "fresh.rvcache")->disposition,
+            Disposition::kMerged);
+  EXPECT_EQ(result.entries, 5u);  // the stale file's lone key is gone
+  EXPECT_FALSE(fs::exists(scratch.path / "stale.rvcache"));
+  ScenarioCache warm;
+  EXPECT_EQ(rv::engine::load_cache_dir(scratch.path, &warm).loaded, 5u);
+}
+
+TEST(CacheStoreCompact, ByteBudgetEvictsOldestFirstDeterministically) {
+  using namespace compact_helpers;
+  Scratch scratch;
+  ScenarioCache cache;
+  populate(small_all_family_set(), &cache);
+  // Three same-sized files with strictly ordered mtimes: oldest,
+  // middle, newest (names chosen so name order != age order).
+  backdate(save_as(scratch.path, "c-oldest.rvcache", cache), 3);
+  backdate(save_as(scratch.path, "a-middle.rvcache", cache), 2);
+  backdate(save_as(scratch.path, "b-newest.rvcache", cache), 1);
+  const auto one_size = fs::file_size(scratch.path / "b-newest.rvcache");
+
+  // Budget for exactly one input: the two oldest are evicted, oldest
+  // first, and the report lists them in victim order.
+  rv::engine::CompactOptions options;
+  options.max_bytes = one_size;
+  const auto result = rv::engine::compact_cache_dir(scratch.path, options);
+  ASSERT_EQ(result.files.size(), 3u);
+  EXPECT_EQ(report_for(result, "b-newest.rvcache")->disposition,
+            Disposition::kMerged);
+  EXPECT_EQ(report_for(result, "c-oldest.rvcache")->disposition,
+            Disposition::kEvictedBudget);
+  EXPECT_EQ(report_for(result, "a-middle.rvcache")->disposition,
+            Disposition::kEvictedBudget);
+  // Victim order within the report: merged first, then evictions
+  // oldest first.
+  EXPECT_EQ(result.files[0].path.filename(), "b-newest.rvcache");
+  EXPECT_EQ(result.files[1].path.filename(), "c-oldest.rvcache");
+  EXPECT_EQ(result.files[2].path.filename(), "a-middle.rvcache");
+  EXPECT_EQ(result.entries, 5u);
+  ScenarioCache warm;
+  EXPECT_EQ(rv::engine::load_cache_dir(scratch.path, &warm).loaded, 5u);
+}
+
+TEST(CacheStoreCompact, RecompactionIsIdempotent) {
+  using namespace compact_helpers;
+  Scratch scratch;
+  ScenarioCache cache;
+  populate(small_all_family_set(), &cache);
+  save_as(scratch.path, "shard-0.rvcache", cache);
+  save_as(scratch.path, "shard-1.rvcache", cache);
+
+  const auto first = rv::engine::compact_cache_dir(scratch.path);
+  std::ifstream first_stream(first.output, std::ios::binary);
+  const std::string first_bytes(
+      (std::istreambuf_iterator<char>(first_stream)),
+      std::istreambuf_iterator<char>());
+
+  // Second compaction: the previous output is the only input, merged
+  // into itself (the alias-safety contract) — same entries, same bytes.
+  const auto second = rv::engine::compact_cache_dir(scratch.path);
+  EXPECT_EQ(second.entries, first.entries);
+  ASSERT_EQ(second.files.size(), 1u);
+  EXPECT_EQ(second.files[0].path, first.output);
+  EXPECT_EQ(second.files[0].disposition, Disposition::kMerged);
+  std::ifstream second_stream(second.output, std::ios::binary);
+  const std::string second_bytes(
+      (std::istreambuf_iterator<char>(second_stream)),
+      std::istreambuf_iterator<char>());
+  EXPECT_EQ(first_bytes, second_bytes);
+  EXPECT_FALSE(first_bytes.empty());
+}
+
+TEST(CacheStoreCompact, MissingDirectoryThrows) {
+  Scratch scratch;
+  EXPECT_THROW(
+      (void)rv::engine::compact_cache_dir(scratch.path / "absent"),
+      std::runtime_error);
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "engine/families.hpp"
+#include "engine/set_decl.hpp"
 #include "mathx/constants.hpp"
 #include "mathx/rng.hpp"
 #include "mathx/roots.hpp"
@@ -473,6 +475,201 @@ TEST(FuzzCacheKey, DocumentedEquivalencesAndSeparations) {
   named2.search.program_name = "a";
   EXPECT_NE(cache_key(named1), cache_key(named2));
   EXPECT_NE(cache_key(named1), cache_key(base));
+}
+
+// ---------------------------------------------------------------------------
+// `.rvset` parser fuzz (engine/set_decl): hostile text — truncations,
+// byte flips, NUL/UTF-8 garbage, duplicated and deleted lines — must
+// either parse deterministically or fail with SetDeclError.  It must
+// never crash, never throw anything else, and never *mis-parse*: a
+// token with trailing junk, an out-of-range value or a duplicate key
+// is an error, not a silently different grid.
+// ---------------------------------------------------------------------------
+
+/// A valid seed declaration touching every family and section kind.
+const char* kSeedDecl =
+    "name = fuzz-seed\n"
+    "description = all five families\n"
+    "[rendezvous]\n"
+    "visibility = 0.25\n"
+    "speeds = 1.0 1.5\n"
+    "chiralities = 1 -1\n"
+    "[search]\n"
+    "angles = 4\n"
+    "distances = 1.0 2.0\n"
+    "horizon_rule = guaranteed-rounds+1\n"
+    "[gather.add]\n"
+    "label = pair\n"
+    "robot = 1.0 1.0\n"
+    "robot = 1.5 0.5\n"
+    "[linear]\n"
+    "mode = zigzag-search\n"
+    "distances = 1.0 -2.0\n"
+    "[coverage]\n"
+    "programs = algorithm4 square-spiral\n"
+    "horizon = 50.0\n";
+
+/// The grid a parse produced, as comparable data: (family, label,
+/// content key) per materialised item.
+std::vector<std::string> grid_signature(const rv::engine::SetDecl& decl) {
+  std::vector<std::string> out;
+  for (const rv::engine::WorkItem& item : decl.set.materialize_work()) {
+    const auto key = rv::engine::cache_key(item);
+    out.push_back(std::string(rv::engine::family_name(item.family)) + "|" +
+                  item.label + "|" + key.value_or("<uncacheable>"));
+  }
+  return out;
+}
+
+TEST(FuzzSetDecl, SeedParsesDeterministically) {
+  const rv::engine::SetDecl a = rv::engine::parse_set_decl(kSeedDecl);
+  const rv::engine::SetDecl b = rv::engine::parse_set_decl(kSeedDecl);
+  EXPECT_EQ(a.name, "fuzz-seed");
+  const std::vector<std::string> sig = grid_signature(a);
+  EXPECT_EQ(sig, grid_signature(b));
+  // 4 rendezvous + 2 search + 1 gather.add + 2 linear + 2 coverage.
+  EXPECT_EQ(sig.size(), 11u);
+}
+
+TEST(FuzzSetDecl, EveryTruncationFailsCleanlyOrParses) {
+  const std::string seed = kSeedDecl;
+  int parsed = 0, rejected = 0;
+  for (std::size_t keep = 0; keep <= seed.size(); ++keep) {
+    const std::string cut = seed.substr(0, keep);
+    try {
+      const rv::engine::SetDecl decl = rv::engine::parse_set_decl(cut);
+      // A successful parse must materialise without throwing.
+      (void)grid_signature(decl);
+      ++parsed;
+    } catch (const rv::engine::SetDeclError&) {
+      ++rejected;  // clean, typed failure — the only acceptable error
+    } catch (const std::invalid_argument&) {
+      ++rejected;  // domain-invalid cell caught at materialisation
+    }
+  }
+  // Both outcomes must actually occur (the full text parses; chopping
+  // inside "[search]\nangles = 4\n" leaves an axis-less grid, etc.).
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzSetDecl, RandomMutationsNeverCrashOrMisThrow) {
+  Xoshiro256 rng(20260808);
+  const std::string seed = kSeedDecl;
+  static const std::string garbage_pool =
+      std::string("\0\x01\x7f\xc3\xa9\xe2\x82\xac[]=# \t\n-+.e0129xX/", 26);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string text = seed;
+    const int edits = rng.uniform_int(1, 4);
+    for (int e = 0; e < edits; ++e) {
+      switch (rng.uniform_int(0, 4)) {
+        case 0: {  // flip/overwrite one byte
+          if (text.empty()) break;
+          const auto at = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(text.size()) - 1));
+          text[at] = garbage_pool[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(garbage_pool.size()) - 1))];
+          break;
+        }
+        case 1: {  // insert a garbage byte
+          const auto at = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(text.size())));
+          text.insert(at, 1,
+                      garbage_pool[static_cast<std::size_t>(rng.uniform_int(
+                          0, static_cast<int>(garbage_pool.size()) - 1))]);
+          break;
+        }
+        case 2: {  // truncate at a random point
+          text.resize(static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(text.size()))));
+          break;
+        }
+        case 3: {  // duplicate a random line (dup-key pressure)
+          std::vector<std::string> lines;
+          std::size_t start = 0;
+          while (start < text.size()) {
+            std::size_t eol = text.find('\n', start);
+            if (eol == std::string::npos) eol = text.size();
+            lines.push_back(text.substr(start, eol - start));
+            start = eol + 1;
+          }
+          if (lines.empty()) break;
+          const auto which = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(lines.size()) - 1));
+          lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(which),
+                       lines[which]);
+          text.clear();
+          for (const std::string& line : lines) text += line + "\n";
+          break;
+        }
+        default: {  // delete a random span
+          if (text.empty()) break;
+          const auto at = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(text.size()) - 1));
+          const auto len = static_cast<std::size_t>(rng.uniform_int(1, 12));
+          text.erase(at, len);
+          break;
+        }
+      }
+    }
+    rv::engine::SetDecl decl;
+    try {
+      decl = rv::engine::parse_set_decl(text);
+    } catch (const rv::engine::SetDeclError&) {
+      ++rejected;  // the only failure mode the *parser* may have
+      continue;
+    }
+    // Any other exception type from the parse propagates and fails.
+    try {
+      const std::vector<std::string> sig = grid_signature(decl);
+      // Whatever parsed must re-parse to the identical grid.
+      ASSERT_EQ(sig, grid_signature(rv::engine::parse_set_decl(text)))
+          << "trial " << trial;
+      ++parsed;
+    } catch (const std::invalid_argument&) {
+      // Materialisation may reject domain-invalid values (e.g. a
+      // horizon rule needs d, r > 0) — exactly as a hand-written
+      // ScenarioSet with the same cell would.  Clean, typed, no crash.
+      ++rejected;
+    }
+  }
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzSetDecl, CorruptValuesErrorInsteadOfMisParsing) {
+  // Each hostile value rides in an otherwise valid declaration; a
+  // lenient strtod-style parser would accept every one of them and
+  // quietly produce a *different grid* — the exact bug class this
+  // format bans.
+  const char* hostile_values[] = {
+      "1.0x",          // trailing junk after a valid number
+      "0x10",          // hex
+      "inf",           // non-finite
+      "nan",           // non-finite
+      "1e400",         // overflows to inf
+      "1.0 2.0x",      // junk hidden inside a list
+      "2 # comment",   // inline comments are not a thing
+      "1,5",           // locale-style decimal comma
+      "--1",           // double sign
+      "1e",            // empty exponent
+      ".",             // no digits at all
+  };
+  for (const char* value : hostile_values) {
+    const std::string text =
+        std::string("[search]\ndistances = ") + value + "\n";
+    EXPECT_THROW((void)rv::engine::parse_set_decl(text),
+                 rv::engine::SetDeclError)
+        << "value '" << value << "' must not parse";
+  }
+  // And the out-of-range integer axis: counts cannot wrap.
+  EXPECT_THROW((void)rv::engine::parse_set_decl(
+                   "[search]\nangles = 4294967296\ndistances = 1\n"),
+               rv::engine::SetDeclError);
+  EXPECT_THROW((void)rv::engine::parse_set_decl(
+                   "[gather]\nsizes = 99999999999999999999\n"),
+               rv::engine::SetDeclError);
 }
 
 TEST(FuzzPaths, RandomPathsAreAlwaysContinuousAndClamped) {

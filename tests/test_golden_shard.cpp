@@ -300,6 +300,113 @@ TEST_F(GoldenBatchChaos, PartialEmitsSurvivingSubsetAndCoverageReport) {
       << err_text;
 }
 
+// ---------------------------------------------------------------------------
+// `.rvset` twins and cache-dir hygiene: every built-in set ships an
+// equivalent examples/sets/<name>.rvset; running the twin must emit the
+// built-in's exact bytes, and a shard → compact → warm-merge pipeline
+// over the twin must replay everything from the single compacted file.
+// ---------------------------------------------------------------------------
+
+/// The shipped `.rvset` twin of a built-in set.
+fs::path twin_file(const std::string& set) {
+#ifdef RV_SETS_DIR
+  return fs::path(RV_SETS_DIR) / (set + ".rvset");
+#else
+  return fs::path("examples/sets") / (set + ".rvset");
+#endif
+}
+
+TEST_P(GoldenBatchSet, RvsetTwinEmitsTheExactBuiltinBytes) {
+  const std::string set = GetParam();
+  const fs::path twin = twin_file(set);
+  ASSERT_TRUE(fs::exists(twin)) << twin;
+  const auto builtin = run_and_capture(batch_cmd("run --set " + set));
+  const auto from_file =
+      run_and_capture(batch_cmd("run --set-file '" + twin.string() + "'"));
+  ASSERT_TRUE(builtin.has_value());
+  ASSERT_TRUE(from_file.has_value());
+  EXPECT_EQ(*from_file, *builtin)
+      << twin << " drifted from the compiled-in declaration";
+}
+
+TEST_P(GoldenBatchSet, ShardCompactWarmMergePipelineReplaysFromOneFile) {
+  const std::string set = GetParam();
+  const fs::path twin = twin_file(set);
+  ASSERT_TRUE(fs::exists(twin)) << twin;
+  const auto single = run_and_capture(batch_cmd("run --set " + set));
+  ASSERT_TRUE(single.has_value());
+
+  Scratch scratch;
+  const std::string dir = (scratch.path / "cache").string();
+  // Two shard processes populate the cache dir from the *twin* file.
+  for (int s = 0; s < 2; ++s) {
+    const auto shard_out = run_and_capture(
+        batch_cmd("run --set-file '" + twin.string() + "' --shard " +
+                  std::to_string(s) + "/2 --cache-dir '" + dir +
+                  "' >/dev/null && echo ok"));
+    ASSERT_TRUE(shard_out.has_value()) << "shard " << s;
+  }
+  // Compact folds the shard files into one; originals are deleted.
+  const auto compact_out =
+      run_and_capture(batch_cmd("compact --cache-dir '" + dir + "'"));
+  ASSERT_TRUE(compact_out.has_value());
+  EXPECT_NE(compact_out->find("total: merged=2 evicted=0 dropped=0"),
+            std::string::npos)
+      << *compact_out;
+  std::size_t cache_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".rvcache") ++cache_files;
+  }
+  EXPECT_EQ(cache_files, 1u);
+  // The warm merge replays every outcome from compact.rvcache alone
+  // and reproduces the single-process bytes.
+  const auto merged = run_and_capture(
+      batch_cmd("merge --set-file '" + twin.string() + "' --cache-dir '" +
+                dir + "' --require-all-hits"));
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(*merged, *single);
+}
+
+TEST(GoldenBatch, HostileShardSpecsAreRejectedUpFront) {
+  if (!fs::exists(rv_batch_binary())) {
+    GTEST_SKIP() << rv_batch_binary() << " not built";
+  }
+  // Regression: std::stoul's leniency let "-1/2" wrap to a huge shard
+  // index and " 1/2"/"1x/2" slip through; the spec must be rejected
+  // with a usage error before any work starts.
+  const char* hostile[] = {"-1/2", " 1/2", "1/2x", "0x1/2",
+                           "1//2", "1/",   "/2",   "1/0x2"};
+  for (const char* spec : hostile) {
+    const RunStatus status = run_status(
+        batch_cmd("run --set linear-line --shard '" + std::string(spec) +
+                  "' 2>&1"));
+    EXPECT_EQ(status.code, 1) << "spec '" << spec << "'";
+    EXPECT_NE(status.stdout_text.find("--shard expects I/N"),
+              std::string::npos)
+        << "spec '" << spec << "': " << status.stdout_text;
+  }
+  // The boundary cases still parse: 0/1 runs everything.
+  const auto ok = run_and_capture(
+      batch_cmd("run --set linear-line --shard 0/1"));
+  EXPECT_TRUE(ok.has_value());
+}
+
+TEST(GoldenBatch, MalformedRvsetFileFailsWithUsageExitAndNamedLine) {
+  if (!fs::exists(rv_batch_binary())) {
+    GTEST_SKIP() << rv_batch_binary() << " not built";
+  }
+  Scratch scratch;
+  const fs::path bad = scratch.path / "bad.rvset";
+  std::ofstream(bad) << "[search]\ndistances = 1.0x\n";
+  const RunStatus status = run_status(
+      batch_cmd("run --set-file '" + bad.string() + "' 2>&1"));
+  EXPECT_EQ(status.code, 1);
+  EXPECT_NE(status.stdout_text.find("line 2"), std::string::npos)
+      << status.stdout_text;
+  EXPECT_NE(status.stdout_text.find("distances"), std::string::npos)
+      << status.stdout_text;
+}
+
 TEST(GoldenBatch, ListedSetsArePinned) {
   if (!fs::exists(rv_batch_binary())) {
     GTEST_SKIP() << rv_batch_binary() << " not built";

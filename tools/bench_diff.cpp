@@ -72,11 +72,50 @@ std::optional<std::string> parse_string_at(const std::string& text,
   return text.substr(p + 1, end - p - 1);
 }
 
+// Parses the JSON number starting exactly at `p`.  `strtod` alone
+// accepts tokens strict google-benchmark JSON never emits — "inf",
+// "nan", hex floats like "0x1p4", leading whitespace — so a corrupt
+// BENCH file could sail through the gate as a huge (or tiny)
+// "baseline".  Validate the JSON number grammar
+// `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?` first and convert
+// only the validated span.
 std::optional<double> parse_number_at(const std::string& text, std::size_t p) {
-  if (p >= text.size()) return std::nullopt;
+  const auto digit = [&](std::size_t i) {
+    return i < text.size() && text[i] >= '0' && text[i] <= '9';
+  };
+  std::size_t q = p;
+  if (q < text.size() && text[q] == '-') ++q;
+  if (!digit(q)) return std::nullopt;
+  if (text[q] == '0') {
+    ++q;
+    if (digit(q)) return std::nullopt;  // JSON forbids leading zeros ("01")
+  } else {
+    while (digit(q)) ++q;
+  }
+  if (q < text.size() && text[q] == '.') {
+    ++q;
+    if (!digit(q)) return std::nullopt;
+    while (digit(q)) ++q;
+  }
+  if (q < text.size() && (text[q] == 'e' || text[q] == 'E')) {
+    ++q;
+    if (q < text.size() && (text[q] == '+' || text[q] == '-')) ++q;
+    if (!digit(q)) return std::nullopt;
+    while (digit(q)) ++q;
+  }
+  // The token must end at a JSON delimiter — "0x1p4" must not sneak
+  // through as "0" plus ignored junk.
+  if (q < text.size()) {
+    const char next = text[q];
+    if (next != ',' && next != '}' && next != ']' && next != ' ' &&
+        next != '\t' && next != '\n' && next != '\r') {
+      return std::nullopt;
+    }
+  }
+  const std::string token = text.substr(p, q - p);
   char* end = nullptr;
-  const double v = std::strtod(text.c_str() + p, &end);
-  if (end == text.c_str() + p) return std::nullopt;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return std::nullopt;
   return v;
 }
 
@@ -241,12 +280,34 @@ int self_test() {
        "real_time": 100.0, "cpu_time": 99.0, "time_unit": "ns"}
     ]})";
 
+  // Corrupt files carrying non-JSON number tokens (strtod would happily
+  // read "inf", "nan" or a hex float as a giant/garbage baseline) must
+  // fail the parse instead of entering the comparison.
+  const char* corrupt_jsons[] = {
+      R"({"benchmarks": [{"name": "BM_A/10",
+          "real_time": inf, "cpu_time": 99.0}]})",
+      R"({"benchmarks": [{"name": "BM_A/10",
+          "real_time": nan, "cpu_time": 99.0}]})",
+      R"({"benchmarks": [{"name": "BM_A/10",
+          "real_time": 0x1p4, "cpu_time": 99.0}]})",
+      R"({"benchmarks": [{"name": "BM_A/10",
+          "real_time": 01.5, "cpu_time": 99.0}]})",
+  };
+
   const auto base = parse_bench_json(base_json);
   const auto regressed = parse_bench_json(regressed_json);
   const auto unoptimized = parse_bench_json(unoptimized_json);
   if (!base || !regressed || !unoptimized || base->series.size() != 2) {
     std::fprintf(stderr, "self-test: parser failed on synthetic JSON\n");
     return 1;
+  }
+  std::printf("-- self-test: non-JSON number tokens must fail the parse\n");
+  for (const char* corrupt : corrupt_jsons) {
+    if (parse_bench_json(corrupt)) {
+      std::fprintf(stderr,
+                   "self-test: corrupt number token accepted: %s\n", corrupt);
+      return 1;
+    }
   }
 
   Options opts;

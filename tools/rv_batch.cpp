@@ -11,15 +11,27 @@
 // processes, machines — reproduces the same output bytes (pinned in
 // tests/test_golden_shard.cpp and diffed for real in CI).
 //
-//   rv_batch list
-//   rv_batch run   --set NAME [--shard I/N] [--cache-dir DIR]
-//                  [--procs P] [--threads T] [--format csv|json|table]
-//                  [--out FILE] [--require-all-hits]
-//                  [--retries R] [--shard-timeout SEC] [--backoff-ms MS]
-//                  [--partial]
-//   rv_batch merge --set NAME --cache-dir DIR [--format ...] [--out FILE]
-//                  [--require-all-hits] [--write-merged]
+//   rv_batch list  [--set-file FILE]
+//   rv_batch run   (--set NAME | --set-file FILE) [--shard I/N]
+//                  [--cache-dir DIR] [--procs P] [--threads T]
+//                  [--format csv|json|table] [--out FILE]
+//                  [--require-all-hits] [--retries R] [--shard-timeout SEC]
+//                  [--backoff-ms MS] [--partial]
+//   rv_batch merge (--set NAME | --set-file FILE) --cache-dir DIR
+//                  [--format ...] [--out FILE] [--require-all-hits]
+//                  [--write-merged]
 //   rv_batch cache-stats --cache-dir DIR
+//   rv_batch compact --cache-dir DIR [--max-age-days D] [--max-bytes N]
+//
+// `--set-file` runs a data-driven `*.rvset` declaration (see
+// engine/set_decl.hpp and examples/sets/) instead of a compiled-in set;
+// the twins under examples/sets/ reproduce the built-in sets
+// byte-identically.  `compact` is the cache-dir lifecycle tool: it
+// merges every cache file into one deduplicated `compact.rvcache`
+// (first writer wins, wrong-epoch files dropped), optionally evicting
+// by age (--max-age-days) and to a byte budget (--max-bytes, oldest
+// first), then deletes the originals — a warm `--require-all-hits`
+// rerun stays at 100% hits (see docs/OPERATIONS.md).
 //
 // Fork mode (--procs P) runs under a shard supervisor
 // (engine/supervisor.hpp): each shard gets a per-attempt deadline
@@ -37,7 +49,10 @@
 // 3 --require-all-hits violation, 4 shards failed after retries.
 
 #include <algorithm>
+#include <cerrno>
 #include <cstddef>
+#include <cstdint>
+#include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -52,6 +67,7 @@
 #include "engine/cache_store.hpp"
 #include "engine/failpoint.hpp"
 #include "engine/runner.hpp"
+#include "engine/set_decl.hpp"
 #include "engine/shard.hpp"
 #include "engine/supervisor.hpp"
 #include "io/args.hpp"
@@ -85,22 +101,35 @@ struct ShardSpec {
   std::size_t num_shards = 1;
 };
 
-/// Parses "I/N" (e.g. "0/4").  \throws std::invalid_argument on
+/// Parses "I/N" (e.g. "0/4").  Both parts must be plain non-empty
+/// digit strings: `std::stoul` alone would wrap a negative index to a
+/// huge shard number and skip leading whitespace (" 1/2", "-1/2"),
+/// deferring to a confusing downstream shard_plan error — reject
+/// non-digit input up front instead.  \throws std::invalid_argument on
 /// malformed input; range checking is left to shard_plan.
 ShardSpec parse_shard(const std::string& text) {
+  const auto fail = [&text]() -> std::invalid_argument {
+    return std::invalid_argument("--shard expects I/N (e.g. 0/4), got '" +
+                                 text + "'");
+  };
+  const auto all_digits = [](std::string_view part) {
+    if (part.empty()) return false;
+    for (const char c : part) {
+      if (c < '0' || c > '9') return false;
+    }
+    return true;
+  };
   const std::size_t slash = text.find('/');
-  std::size_t shard_end = 0, total_end = 0;
+  if (slash == std::string::npos) throw fail();
+  const std::string shard_part = text.substr(0, slash);
+  const std::string total_part = text.substr(slash + 1);
+  if (!all_digits(shard_part) || !all_digits(total_part)) throw fail();
   ShardSpec spec;
   try {
-    if (slash == std::string::npos) throw std::invalid_argument(text);
-    spec.shard = std::stoul(text.substr(0, slash), &shard_end);
-    spec.num_shards = std::stoul(text.substr(slash + 1), &total_end);
-    if (shard_end != slash || total_end != text.size() - slash - 1) {
-      throw std::invalid_argument(text);
-    }
-  } catch (const std::exception&) {
-    throw std::invalid_argument("--shard expects I/N (e.g. 0/4), got '" +
-                                text + "'");
+    spec.shard = std::stoul(shard_part);
+    spec.num_shards = std::stoul(total_part);
+  } catch (const std::out_of_range&) {
+    throw fail();
   }
   return spec;
 }
@@ -310,7 +339,39 @@ ResultSet run_forked(const std::vector<WorkItem>& work,
   return rv::engine::run_scenarios(work, run_options);
 }
 
-int cmd_list() {
+/// The set a run/merge operates on: a compiled-in declaration named by
+/// --set, or a data-driven `*.rvset` file named by --set-file.
+struct NamedSet {
+  std::string name;
+  rv::engine::ScenarioSet set;
+};
+
+NamedSet resolve_set(const rv::io::Args& args) {
+  const std::string set_name = args.get("set");
+  const std::string set_file = args.get("set-file");
+  if (!set_file.empty()) {
+    if (!set_name.empty()) {
+      throw std::invalid_argument("--set and --set-file are exclusive");
+    }
+    rv::engine::SetDecl decl = rv::engine::parse_set_decl_file(set_file);
+    return NamedSet{std::move(decl.name), std::move(decl.set)};
+  }
+  if (set_name.empty()) {
+    throw std::invalid_argument(
+        "need --set NAME (see: rv_batch list) or --set-file FILE");
+  }
+  return NamedSet{set_name, rv::batch::build_builtin_set(set_name)};
+}
+
+int cmd_list(const rv::io::Args& args) {
+  const std::string set_file = args.get("set-file");
+  if (!set_file.empty()) {
+    const rv::engine::SetDecl decl = rv::engine::parse_set_decl_file(set_file);
+    const std::size_t items = decl.set.materialize_work().size();
+    std::cout << decl.name << "  (" << items << " items)  "
+              << decl.description << "\n";
+    return 0;
+  }
   for (const rv::batch::BuiltinSet& set : rv::batch::builtin_sets()) {
     const std::size_t items = set.build().materialize_work().size();
     std::cout << set.name << "  (" << items << " items)  " << set.description
@@ -320,9 +381,9 @@ int cmd_list() {
 }
 
 int cmd_run(rv::io::Args& args) {
-  const std::string set_name = args.get("set");
-  const rv::engine::ScenarioSet set = rv::batch::build_builtin_set(set_name);
-  const std::vector<WorkItem> work = set.materialize_work();
+  const NamedSet named = resolve_set(args);
+  const std::string& set_name = named.name;
+  const std::vector<WorkItem> work = named.set.materialize_work();
   const unsigned threads = static_cast<unsigned>(args.get_int("threads"));
   const fs::path cache_dir = args.get("cache-dir");
   const std::string shard_text = args.get("shard");
@@ -386,18 +447,18 @@ int cmd_run(rv::io::Args& args) {
 }
 
 int cmd_merge(rv::io::Args& args) {
-  const std::string set_name = args.get("set");
+  const NamedSet named = resolve_set(args);
+  const std::string& set_name = named.name;
   const fs::path cache_dir = args.get("cache-dir");
   if (cache_dir.empty()) {
     throw std::invalid_argument("merge needs --cache-dir");
   }
-  const rv::engine::ScenarioSet set = rv::batch::build_builtin_set(set_name);
   ScenarioCache cache;
   print_load_stats("merged", rv::engine::load_cache_dir(cache_dir, &cache));
   rv::engine::RunnerOptions options;
   options.threads = static_cast<unsigned>(args.get_int("threads"));
   options.cache = &cache;
-  const ResultSet results = rv::engine::run_scenarios(set, options);
+  const ResultSet results = rv::engine::run_scenarios(named.set, options);
   print_run_stats(set_name, results.size(), results.cache_stats());
   if (args.get_bool("write-merged")) {
     const fs::path merged =
@@ -436,17 +497,89 @@ int cmd_cache_stats(rv::io::Args& args) {
   return 0;
 }
 
+/// Parses --max-bytes: a plain non-empty digit string (no sign, no
+/// suffixes), so a typo cannot silently become "no budget".
+std::uintmax_t parse_max_bytes(const std::string& text) {
+  if (text.empty()) return 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("--max-bytes expects a byte count, got '" +
+                                  text + "'");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) {
+    throw std::invalid_argument("--max-bytes out of range: '" + text + "'");
+  }
+  return value;
+}
+
+int cmd_compact(rv::io::Args& args) {
+  const fs::path cache_dir = args.get("cache-dir");
+  if (cache_dir.empty()) {
+    throw std::invalid_argument("compact needs --cache-dir");
+  }
+  rv::engine::CompactOptions options;
+  options.max_age_days = args.get_double("max-age-days");
+  if (options.max_age_days < 0.0) {
+    throw std::invalid_argument("--max-age-days must be >= 0");
+  }
+  options.max_bytes = parse_max_bytes(args.get("max-bytes"));
+  const rv::engine::CompactResult result =
+      rv::engine::compact_cache_dir(cache_dir, options);
+  // Same per-file counter shape as cache-stats, plus the disposition.
+  std::size_t evicted = 0, dropped = 0, merged = 0;
+  for (const rv::engine::CompactResult::FileReport& report : result.files) {
+    const std::string name = report.path.filename().string();
+    switch (report.disposition) {
+      case rv::engine::CompactResult::Disposition::kMerged:
+        std::cout << "merged " << name << ": new=" << report.stats.loaded
+                  << " duplicate=" << report.stats.duplicates
+                  << " corrupt-regions=" << report.stats.skipped << "\n";
+        ++merged;
+        break;
+      case rv::engine::CompactResult::Disposition::kDroppedBad:
+        std::cout << "dropped " << name
+                  << ": bad header or wrong engine epoch\n";
+        ++dropped;
+        break;
+      case rv::engine::CompactResult::Disposition::kEvictedAge:
+        std::cout << "evicted " << name << ": older than --max-age-days\n";
+        ++evicted;
+        break;
+      case rv::engine::CompactResult::Disposition::kEvictedBudget:
+        std::cout << "evicted " << name << ": over --max-bytes budget\n";
+        ++evicted;
+        break;
+    }
+  }
+  std::cout << "total: merged=" << merged << " evicted=" << evicted
+            << " dropped=" << dropped
+            << " distinct-keys=" << result.entries << "\n";
+  std::cout << result.output.filename().string()
+            << ": entries=" << result.entries
+            << " bytes=" << result.output_bytes << "\n";
+  return 0;
+}
+
 void usage(std::ostream& os) {
-  os << "usage: rv_batch <list|run|merge|cache-stats> [flags]\n"
-     << "  list                      show the built-in scenario sets\n"
-     << "  run   --set NAME          run a set (optionally one shard of it)\n"
+  os << "usage: rv_batch <list|run|merge|cache-stats|compact> [flags]\n"
+     << "  list  [--set-file FILE]   show the built-in sets (or one .rvset)\n"
+     << "  run   (--set NAME | --set-file FILE)\n"
+     << "        run a built-in set or a declarative .rvset file\n"
      << "        [--shard I/N] [--procs P] [--cache-dir DIR] [--threads T]\n"
      << "        [--format csv|json|table] [--out FILE] [--require-all-hits]\n"
      << "        [--retries R] [--shard-timeout SEC] [--backoff-ms MS]\n"
      << "        [--partial]       (supervisor knobs; fork mode only)\n"
-     << "  merge --set NAME --cache-dir DIR   replay shard caches into the\n"
-     << "        single-process document      [--write-merged] [...run flags]\n"
+     << "  merge (--set NAME | --set-file FILE) --cache-dir DIR\n"
+     << "        replay shard caches into the single-process document\n"
+     << "        [--write-merged] [...run flags]\n"
      << "  cache-stats --cache-dir DIR        describe the cache files\n"
+     << "  compact --cache-dir DIR            merge + dedupe the cache files\n"
+     << "        [--max-age-days D]           evict files older than D days\n"
+     << "        [--max-bytes N]              evict oldest-first to fit N\n"
      << "exit codes: 0 ok, 1 usage, 2 failure, 3 --require-all-hits missed,\n"
      << "            4 shards failed after retries (see docs/OPERATIONS.md)\n";
 }
@@ -465,6 +598,8 @@ int main(int argc, char** argv) {
   }
   rv::io::Args args;
   args.declare("set", "", "built-in scenario set name (see: rv_batch list)");
+  args.declare("set-file", "",
+               "declarative .rvset file to run instead of a built-in set");
   args.declare("shard", "", "run only shard I of N, as I/N");
   args.declare_int("procs", 1, "fork P local shard processes, then merge");
   args.declare_int("threads", 0, "worker threads per process (0 = hardware)");
@@ -484,22 +619,33 @@ int main(int argc, char** argv) {
   args.declare_bool("partial",
                     "fork mode: emit surviving subset (exit 0) when shards "
                     "exhaust retries, instead of failing with exit 4");
+  args.declare_double("max-age-days", 0.0,
+                      "compact: evict cache files older than this (0 = keep)");
+  args.declare("max-bytes", "",
+               "compact: byte budget, evicting oldest files first (empty = "
+               "no budget)");
   try {
     args.parse(argc - 1, argv + 1);
     if (args.help_requested()) {
       usage(std::cout);
       return 0;
     }
-    if (command == "list") return cmd_list();
+    if (command == "list") return cmd_list(args);
     if (command == "run") return cmd_run(args);
     if (command == "merge") return cmd_merge(args);
     if (command == "cache-stats") return cmd_cache_stats(args);
+    if (command == "compact") return cmd_compact(args);
     std::cerr << "rv_batch: unknown command '" << command << "'\n";
     usage(std::cerr);
     return kExitUsage;
   } catch (const ShardFailure& e) {
     std::cerr << "rv_batch: " << e.what() << "\n";
     return kExitShardsFailed;
+  } catch (const rv::engine::SetDeclError& e) {
+    // A malformed --set-file is a usage problem: the message already
+    // names the file, line and key.
+    std::cerr << "rv_batch: " << e.what() << "\n";
+    return kExitUsage;
   } catch (const std::invalid_argument& e) {
     std::cerr << "rv_batch: " << e.what() << "\n";
     return kExitUsage;

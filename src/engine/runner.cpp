@@ -135,6 +135,11 @@ bool ScenarioCache::lookup(const std::string& key, Entry* out) const {
   return true;
 }
 
+bool ScenarioCache::contains(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return map_.find(key) != map_.end();
+}
+
 bool ScenarioCache::store(const std::string& key, Entry entry) {
   const std::lock_guard<std::mutex> lock(mutex_);
   return map_.emplace(key, std::move(entry)).second;

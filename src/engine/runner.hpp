@@ -83,6 +83,9 @@ class ScenarioCache {
 
   /// Copies the entry stored under `key` into `*out`; false if absent.
   [[nodiscard]] bool lookup(const std::string& key, Entry* out) const;
+  /// True iff an entry is stored under `key` (no copy — the membership
+  /// probe used by the serve layer to classify hits before dispatch).
+  [[nodiscard]] bool contains(const std::string& key) const;
   /// Stores the entry under `key` (first writer wins on a race — both
   /// writers computed identical outcomes).  Returns true when the key
   /// was new, false when an entry was already present (left alone).

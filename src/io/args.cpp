@@ -52,6 +52,13 @@ void Args::parse(int argc, const char* const* argv) {
   }
 }
 
+bool Args::provided(const std::string& name) const {
+  if (specs_.find(name) == specs_.end()) {
+    throw std::invalid_argument("Args: undeclared flag --" + name);
+  }
+  return values_.find(name) != values_.end();
+}
+
 const Args::Spec& Args::spec_for(const std::string& name, Kind expected) const {
   const auto it = specs_.find(name);
   if (it == specs_.end()) {

@@ -42,6 +42,12 @@ class Args {
   [[nodiscard]] int get_int(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
 
+  /// True iff the flag was explicitly provided on the command line
+  /// (as opposed to resting at its declared default).  Subcommand
+  /// front-ends use this to reject flags that do not apply to the
+  /// chosen subcommand instead of silently ignoring them.
+  [[nodiscard]] bool provided(const std::string& name) const;
+
   /// True when `--help` was passed; callers should print `usage()` and
   /// exit.
   [[nodiscard]] bool help_requested() const { return help_; }

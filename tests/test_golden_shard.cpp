@@ -391,6 +391,71 @@ TEST(GoldenBatch, HostileShardSpecsAreRejectedUpFront) {
   EXPECT_TRUE(ok.has_value());
 }
 
+TEST(GoldenBatch, FlagsOutsideTheSubcommandContractAreRejected) {
+  if (!fs::exists(rv_batch_binary())) {
+    GTEST_SKIP() << rv_batch_binary() << " not built";
+  }
+  // Regression: `cache-stats`/`compact` silently ignored --set and
+  // --set-file, and `merge` silently ignored the fork-only supervisor
+  // knobs — a typo'd invocation looked successful while doing
+  // something else.  Every flag a subcommand does not consume is now
+  // a usage error (exit 1) naming the flag and the subcommand.
+  Scratch scratch;
+  const std::string dir = (scratch.path / "cache").string();
+  const struct {
+    const char* args;
+    const char* flag;
+    const char* subcommand;
+  } hostile[] = {
+      {"cache-stats --cache-dir 'DIR' --set linear-line", "--set",
+       "cache-stats"},
+      {"cache-stats --cache-dir 'DIR' --set-file x.rvset", "--set-file",
+       "cache-stats"},
+      {"compact --cache-dir 'DIR' --set linear-line", "--set", "compact"},
+      {"compact --cache-dir 'DIR' --format json", "--format", "compact"},
+      {"merge --set linear-line --cache-dir 'DIR' --procs 2", "--procs",
+       "merge"},
+      {"merge --set linear-line --cache-dir 'DIR' --shard 0/2", "--shard",
+       "merge"},
+      {"merge --set linear-line --cache-dir 'DIR' --retries 2", "--retries",
+       "merge"},
+      {"merge --set linear-line --cache-dir 'DIR' --partial", "--partial",
+       "merge"},
+      {"merge --set linear-line --cache-dir 'DIR' --shard-timeout 1",
+       "--shard-timeout", "merge"},
+      {"list --format json", "--format", "list"},
+      {"run --set linear-line --write-merged", "--write-merged", "run"},
+      {"run --set linear-line --max-age-days 1", "--max-age-days", "run"},
+  };
+  for (const auto& sample : hostile) {
+    std::string command = sample.args;
+    const std::size_t at = command.find("DIR");
+    if (at != std::string::npos) command.replace(at, 3, dir);
+    const RunStatus status = run_status(batch_cmd(command + " 2>&1"));
+    EXPECT_EQ(status.code, 1) << command;
+    EXPECT_NE(status.stdout_text.find(std::string(sample.flag) +
+                                      " does not apply to '" +
+                                      sample.subcommand + "'"),
+              std::string::npos)
+        << command << ": " << status.stdout_text;
+  }
+  // The contract does not reject what each subcommand really takes:
+  // the full run → cache-stats → compact → merge pipeline still works.
+  const auto cold = run_and_capture(
+      batch_cmd("run --set linear-line --cache-dir '" + dir + "'"));
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_TRUE(run_and_capture(batch_cmd("cache-stats --cache-dir '" + dir +
+                                        "'"))
+                  .has_value());
+  EXPECT_TRUE(run_and_capture(batch_cmd("compact --cache-dir '" + dir + "'"))
+                  .has_value());
+  const auto merged = run_and_capture(
+      batch_cmd("merge --set linear-line --cache-dir '" + dir +
+                "' --require-all-hits"));
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(*merged, *cold);
+}
+
 TEST(GoldenBatch, MalformedRvsetFileFailsWithUsageExitAndNamedLine) {
   if (!fs::exists(rv_batch_binary())) {
     GTEST_SKIP() << rv_batch_binary() << " not built";

@@ -57,6 +57,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -564,6 +565,54 @@ int cmd_compact(rv::io::Args& args) {
   return 0;
 }
 
+/// The flag contract: which of the (globally declared) flags each
+/// subcommand actually consumes.  Everything else is rejected up
+/// front with exit 1 — historically `cache-stats`/`compact` silently
+/// ignored `--set`/`--set-file` and `merge` silently ignored the
+/// fork-only supervisor knobs, so a typo'd invocation looked like it
+/// worked while doing something else entirely.
+const std::map<std::string, std::vector<std::string>>& flag_contract() {
+  static const std::map<std::string, std::vector<std::string>> contract = {
+      {"list", {"set-file"}},
+      {"run",
+       {"set", "set-file", "shard", "procs", "threads", "cache-dir", "format",
+        "out", "require-all-hits", "retries", "shard-timeout", "backoff-ms",
+        "partial"}},
+      {"merge",
+       {"set", "set-file", "threads", "cache-dir", "format", "out",
+        "require-all-hits", "write-merged"}},
+      {"cache-stats", {"cache-dir"}},
+      {"compact", {"cache-dir", "max-age-days", "max-bytes"}},
+  };
+  return contract;
+}
+
+/// Rejects every explicitly-provided flag the subcommand does not
+/// consume.  \throws std::invalid_argument naming the flag and the
+/// subcommand (exit 1, same as any other usage error).
+void enforce_flag_contract(const std::string& command,
+                           const rv::io::Args& args,
+                           const std::vector<std::string>& declared) {
+  const auto it = flag_contract().find(command);
+  if (it == flag_contract().end()) return;
+  const std::vector<std::string>& allowed = it->second;
+  for (const std::string& flag : declared) {
+    if (!args.provided(flag)) continue;
+    if (std::find(allowed.begin(), allowed.end(), flag) != allowed.end()) {
+      continue;
+    }
+    std::string accepted;
+    for (const std::string& name : allowed) {
+      if (!accepted.empty()) accepted += ", ";
+      accepted += "--" + name;
+    }
+    throw std::invalid_argument("--" + flag + " does not apply to '" +
+                                command + "' (it accepts: " +
+                                (accepted.empty() ? "no flags" : accepted) +
+                                ")");
+  }
+}
+
 void usage(std::ostream& os) {
   os << "usage: rv_batch <list|run|merge|cache-stats|compact> [flags]\n"
      << "  list  [--set-file FILE]   show the built-in sets (or one .rvset)\n"
@@ -624,12 +673,19 @@ int main(int argc, char** argv) {
   args.declare("max-bytes", "",
                "compact: byte budget, evicting oldest files first (empty = "
                "no budget)");
+  const std::vector<std::string> declared = {
+      "set",          "set-file",  "shard",        "procs",
+      "threads",      "cache-dir", "format",       "out",
+      "require-all-hits",          "write-merged", "retries",
+      "shard-timeout",             "backoff-ms",   "partial",
+      "max-age-days",              "max-bytes"};
   try {
     args.parse(argc - 1, argv + 1);
     if (args.help_requested()) {
       usage(std::cout);
       return 0;
     }
+    enforce_flag_contract(command, args, declared);
     if (command == "list") return cmd_list(args);
     if (command == "run") return cmd_run(args);
     if (command == "merge") return cmd_merge(args);

@@ -24,11 +24,14 @@
 //                        src/geom: the certified sweep and kernels are
 //                        double-only; a narrowing anywhere in those
 //                        paths silently changes certified bytes.
-//   stdout-write         std::cout / printf / puts / putchar in library
+//   stdout-write         std::cout / printf / puts / putchar / fwrite /
+//                        fputs / `stdout` / STDOUT_FILENO in library
 //                        code under src/: emitters format through
 //                        io::/ResultSet into caller-owned streams;
 //                        stray stdout corrupts machine-read documents
-//                        (rv_batch writes its result document there).
+//                        (rv_batch writes its result document there,
+//                        and rv_serve's framed reply writer is the
+//                        only sanctioned protocol-output path).
 //   catch-swallow        `catch (...)` whose body neither rethrows nor
 //                        captures via std::current_exception: a
 //                        swallowed exception turns a wrong answer into
@@ -356,11 +359,24 @@ void rule_float_type(Linter& lint, const SourceFile& f) {
 
 void rule_stdout_write(Linter& lint, const SourceFile& f) {
   if (!path_under(f.rel, "src/")) return;
-  const char* tokens[] = {"printf", "puts", "putchar"};
+  const char* tokens[] = {"printf", "puts", "putchar", "fwrite", "fputs"};
   for (const std::size_t at : find_ident(f.code, "cout")) {
     lint.report(f, at, "stdout-write",
                 "stdout write in library code — emit through io:: / "
                 "ResultSet into a caller-owned stream");
+  }
+  // The raw-fd/FILE* escapes matter since the serve layer landed: its
+  // framed reply writer is the ONLY sanctioned process-output path in
+  // src/ (serve_stream takes a caller-owned ostream), so a stray
+  // `stdout`/`STDOUT_FILENO` would bypass both the framing and the
+  // serve.reply failpoint.
+  for (const char* ident : {"stdout", "STDOUT_FILENO"}) {
+    for (const std::size_t at : find_ident(f.code, ident)) {
+      lint.report(f, at, "stdout-write",
+                  std::string("'") + ident +
+                      "' in library code — reply through the framed "
+                      "writer / a caller-owned stream");
+    }
   }
   for (const char* token : tokens) {
     for (const std::size_t at : find_ident(f.code, token)) {
@@ -1047,6 +1063,39 @@ int self_test() {
                 "void fb() { RV_FAILPOINT(\"site.one\"); }\n");
     failures += expect(scan(blessed.root), "failpoint-site", 0,
                        "allow() escape blesses a shared failpoint site");
+
+    // The serve layer's sites (serve.accept/dispatch/shard/reply)
+    // joined the namespace in PR 10; the uniqueness check must catch
+    // one of them re-declared in a second file just like any other.
+    SelfTree serve_tree("failpoint_serve");
+    serve_tree.put("src/engine/a.cpp",
+                   "void fa() { (void)RV_FAILPOINT_EVAL(\"serve.reply\"); }\n");
+    serve_tree.put("src/io/b.cpp",
+                   "void fb(int i) { RV_FAILPOINT_AT(\"serve.reply\", i); }\n");
+    failures += expect(scan(serve_tree.root), "failpoint-site", 1,
+                       "a serve.* site declared twice fires uniqueness");
+  }
+
+  {  // --- stdout-write: raw fd/FILE* escapes to stdout fire too
+    SelfTree tree("stdout");
+    tree.put("src/engine/bad_fd.cpp",
+             "#include <cstdio>\n#include <unistd.h>\n"
+             "void leak(const char* s, unsigned long n) {\n"
+             "  fwrite(s, 1, n, stdout);\n"
+             "  (void)write(STDOUT_FILENO, s, n);\n"
+             "  fputs(s, stdout);\n"
+             "}\n");
+    // fwrite( + fputs( + two `stdout` idents + STDOUT_FILENO.
+    failures += expect(scan(tree.root), "stdout-write", 5,
+                       "fwrite/fputs/stdout/STDOUT_FILENO in src/ fire");
+
+    SelfTree blessed("stdout_allow");
+    blessed.put("src/engine/framed.cpp",
+                "#include <cstdio>\n"
+                "// rv-lint: allow(stdout-write) — framed protocol writer\n"
+                "void frame(const char* s) { fputs(s, stdout); }\n");
+    failures += expect(scan(blessed.root), "stdout-write", 0,
+                       "allow() escape blesses a framed stdout writer");
   }
 
   {  // --- the allow escape suppresses, on-line and line-above
